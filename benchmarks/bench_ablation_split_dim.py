@@ -1,0 +1,25 @@
+"""Ablation (Section 3.2): max-extent vs max-variance split dimension.
+
+The paper argues the EDA-optimal dimension (maximum BR extent) beats the
+maximum-variance choice because expected disk accesses depend on region
+geometry, not on how data distributes inside the region.
+"""
+
+from conftest import scaled
+
+from repro.eval.figures import ablation_split_dimension
+from repro.eval.report import render_table
+
+
+def test_ablation_split_dimension(run_once, report):
+    rows = run_once(
+        ablation_split_dimension,
+        dims=64,
+        count=scaled(8000),
+        num_queries=scaled(25, minimum=8),
+    )
+    report(render_table(rows, "Ablation — split dimension rule (64-d COLHIST)"))
+
+    eda = next(r for r in rows if r["dimension_rule"] == "eda")
+    var = next(r for r in rows if r["dimension_rule"] == "vam")
+    assert float(eda["io/query"]) <= float(var["io/query"]) * 1.1, (eda, var)

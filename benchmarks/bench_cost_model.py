@@ -1,0 +1,98 @@
+"""Validation — the Minkowski EDA cost model (paper Section 3.2, Figure 2).
+
+The split analysis rests on one prediction: a uniformly-placed cube query of
+side r touches a region with extents s exactly with probability
+``vol(Minkowski sum ∩ data space)``.  This benchmark builds a hybrid tree on
+uniform data, *predicts* the expected data-node accesses per query by
+summing that probability over the leaf regions the search actually prunes
+with (the quantized live boxes), then measures the real access rate over
+uniformly-placed queries.  Model and measurement must agree — this is the
+foundation every split decision in the tree stands on.
+"""
+
+import numpy as np
+from conftest import scaled
+
+from repro.core import HybridTree
+from repro.core.nodes import DataNode, IndexNode
+from repro.datasets import uniform_dataset
+from repro.eval.report import render_table
+from repro.geometry.rect import Rect
+
+
+def _clipped_minkowski_probability(rect: Rect, side: float) -> float:
+    """Probability a query *centre* (uniform in the unit cube) yields a cube
+    query intersecting ``rect``: the Minkowski sum clipped to the space."""
+    half = side / 2.0
+    low = np.maximum(rect.low - half, 0.0)
+    high = np.minimum(rect.high + half, 1.0)
+    return float(np.prod(np.maximum(high - low, 0.0)))
+
+
+def _leaf_effective_rects(tree: HybridTree) -> list[Rect]:
+    rects: list[Rect] = []
+
+    def walk(node_id: int, region: Rect) -> None:
+        node = tree.nm.get(node_id, charge=False)
+        if isinstance(node, DataNode):
+            rects.append(tree.els.effective_rect(node_id, region))
+            return
+        assert isinstance(node, IndexNode)
+        for child_id, child_region in node.children_with_regions(region):
+            walk(child_id, tree.els.effective_rect(child_id, child_region))
+
+    walk(tree.root_id, tree.bounds)
+    return rects
+
+
+def test_minkowski_cost_model(run_once, report):
+    def experiment():
+        rows = []
+        for dims, side in ((2, 0.08), (3, 0.15), (4, 0.25)):
+            data = uniform_dataset(scaled(6000), dims, seed=dims)
+            tree = HybridTree(dims)
+            for oid, v in enumerate(data):
+                tree.insert(v, oid)
+            predicted = sum(
+                _clipped_minkowski_probability(r, side)
+                for r in _leaf_effective_rects(tree)
+            )
+            rng = np.random.default_rng(99)
+            num_queries = scaled(300, minimum=50)
+            # Count exactly the data-node touches (what the model predicts)
+            # by hooking the node cache.
+            touches = {"data": 0}
+            original_get = tree.nm.get
+
+            def counting_get(page_id, charge=True, _orig=original_get, _t=touches):
+                node = _orig(page_id, charge=charge)
+                if charge and isinstance(node, DataNode):
+                    _t["data"] += 1
+                return node
+
+            tree.nm.get = counting_get
+            for _ in range(num_queries):
+                center = rng.random(dims)
+                box = Rect(
+                    np.clip(center - side / 2, 0, 1), np.clip(center + side / 2, 0, 1)
+                )
+                tree.range_search(box)
+            tree.nm.get = original_get
+            measured = touches["data"] / num_queries
+            rows.append(
+                {
+                    "dims": dims,
+                    "query_side": side,
+                    "predicted_leaf_accesses": round(predicted, 2),
+                    "measured_leaf_accesses": round(measured, 2),
+                    "ratio": round(measured / predicted, 3) if predicted else "-",
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    report(render_table(rows, "Validation — Minkowski access-probability model"))
+
+    for row in rows:
+        # The model should predict measured accesses within 25%.
+        assert 0.75 <= float(row["ratio"]) <= 1.25, row

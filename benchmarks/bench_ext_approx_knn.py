@@ -1,0 +1,34 @@
+"""Future-work extension (Section 5): approximate nearest-neighbour search.
+
+The paper names approximate NN queries as planned work on the hybrid tree;
+this benchmark sweeps the (1 + eps) approximation factor on 64-d COLHIST and
+reports the I/O saved against recall and distance error.
+"""
+
+from conftest import scaled
+
+from repro.eval.figures import ext_approximate_knn
+from repro.eval.report import render_table
+
+
+def test_ext_approximate_knn(run_once, report):
+    rows = run_once(
+        ext_approximate_knn,
+        dims=64,
+        count=scaled(12000),
+        num_queries=scaled(20, minimum=6),
+        k=10,
+    )
+    report(render_table(rows, "Extension — approximate k-NN on the hybrid tree"))
+
+    exact = rows[0]
+    loosest = rows[-1]
+    assert exact["factor"] == 0.0
+    assert exact["recall"] == 1.0 and exact["kth_dist_ratio"] == 1.0
+    # Shape: looser factors never cost more I/O, and the loosest saves some.
+    ios = [float(r["io/query"]) for r in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(ios, ios[1:])), ios
+    assert loosest["io_vs_exact"] <= 1.0
+    # Guarantee: k-th distance within (1 + eps) of optimal.
+    for row in rows:
+        assert row["kth_dist_ratio"] <= 1.0 + row["factor"] + 1e-9, row

@@ -1,0 +1,51 @@
+"""Extension — the wider 1990s field: X-tree, M-tree, VA-file vs hybrid.
+
+Beyond the structures the paper benchmarks, its Section 2 classification
+names the X-tree (DP/feature-based), M-tree (DP/distance-based) and the
+linear-scan argument that the VA-file turned constructive.  This benchmark
+lines them all up on 64-d COLHIST distance queries (L2 — the one metric the
+M-tree can serve).
+
+Expected shape: the hybrid tree leads the tree structures; the VA-file —
+whose cost floor is the (cheap, sequential) approximation scan plus a few
+candidate reads — is the strongest non-tree contender, exactly the
+high-dimensional landscape the literature of 1998-1999 described.
+"""
+
+from conftest import scaled
+
+from repro.datasets import colhist_dataset, distance_workload
+from repro.distances import L2
+from repro.eval.harness import build_index, run_workload
+from repro.eval.report import render_table
+
+METHODS = ("hybrid", "xtree", "rtree", "mtree", "vafile", "scan")
+
+
+def test_ext_competitor_field(run_once, report):
+    def experiment():
+        data = colhist_dataset(scaled(10000), 64, seed=0)
+        workload = distance_workload(
+            data, scaled(15, minimum=6), 0.002, metric=L2, seed=1
+        )
+        rows = []
+        for kind in METHODS:
+            index = build_index(kind, data)
+            result = run_workload(index, data, workload, kind=kind)
+            row = result.row(dims=64, metric="L2")
+            if kind == "xtree":
+                row["supernodes"] = index.supernode_count()
+            rows.append(row)
+        return rows
+
+    rows = run_once(experiment)
+    report(render_table(rows, "Extension — 1990s field on 64-d COLHIST (L2)"))
+
+    by = {r["method"]: float(r["norm_io"]) for r in rows}
+    # Shape: hybrid leads every tree structure.
+    for tree_kind in ("xtree", "rtree", "mtree"):
+        assert by["hybrid"] < by[tree_kind], (tree_kind, by)
+    # Shape: the VA-file is competitive (it cannot beat its approximation-
+    # scan floor, but stays near or below the full scan).
+    assert by["vafile"] < 2.0 * by["scan"], by
+    assert by["scan"] == 0.1

@@ -1,0 +1,34 @@
+"""Figure 5(c): effect of Encoded Live Space precision.
+
+Paper (COLHIST, 16/32/64 dims): without ELS (0 bits) queries touch far more
+pages; 4 bits per boundary captures nearly all of the improvement; more bits
+barely help.  The side-table overhead stays ~1% of the database size.
+"""
+
+from conftest import scaled
+
+from repro.eval.figures import fig5c_els
+from repro.eval.report import render_table
+
+BITS = (0, 2, 4, 8, 12, 16)
+
+
+def test_fig5c_els_precision(run_once, report):
+    rows = run_once(
+        fig5c_els,
+        bits_list=BITS,
+        dims_list=(16, 32, 64),
+        count=scaled(8000),
+        num_queries=scaled(25, minimum=8),
+    )
+    report(render_table(rows, "Figure 5(c) — ELS precision sweep (COLHIST)"))
+
+    for dims in (16, 32, 64):
+        by_bits = {row["els_bits"]: float(row["io/query"]) for row in rows if row["dims"] == dims}
+        # Shape: no ELS is the worst setting.
+        assert by_bits[0] >= max(by_bits[4], by_bits[16]), (dims, by_bits)
+        # Shape: 4 bits already achieves most of the full-precision gain.
+        gain_full = by_bits[0] - by_bits[16]
+        gain_4 = by_bits[0] - by_bits[4]
+        if gain_full > 1.0:
+            assert gain_4 >= 0.7 * gain_full, (dims, by_bits)

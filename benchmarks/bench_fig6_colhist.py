@@ -1,0 +1,32 @@
+"""Figure 6(c, d): scalability with dimensionality — COLHIST (high dims).
+
+Paper (COLHIST, 70K points, 16/32/64 dims, 0.2% selectivity): same ordering
+as Figure 6(a, b) at high dimensionality — hybrid < hB < SR in normalized
+I/O, hybrid below the linear-scan line at every dimensionality.
+"""
+
+from conftest import scaled, series
+
+from repro.eval.figures import fig6_dimensionality
+from repro.eval.report import render_table
+
+
+def test_fig6_colhist_dimensionality(run_once, report):
+    rows = run_once(
+        fig6_dimensionality,
+        dataset="colhist",
+        dims_list=(16, 32, 64),
+        count=scaled(12000),
+        num_queries=scaled(25, minimum=8),
+    )
+    report(render_table(rows, "Figure 6(c,d) — COLHIST dimensionality sweep"))
+
+    hybrid = series(rows, "hybrid", "norm_io")
+    hb = series(rows, "hbtree", "norm_io")
+    sr = series(rows, "srtree", "norm_io")
+    assert all(h <= b for h, b in zip(hybrid, hb)), (hybrid, hb)
+    assert all(h <= s * 1.02 for h, s in zip(hybrid, sr)), (hybrid, sr)
+    assert hb[-1] <= sr[-1], (hb, sr)
+    assert all(h < 0.1 for h in hybrid), hybrid
+    # Shape: SR-tree degrades fastest as dimensionality grows.
+    assert (sr[-1] - sr[0]) >= (hybrid[-1] - hybrid[0]) - 1e-9, (sr, hybrid)

@@ -1,0 +1,33 @@
+"""Figure 7(a, b): scalability with database size (64-d COLHIST).
+
+Paper (25K-70K tuples): the hybrid tree outperforms all other techniques by
+more than an order of magnitude over the SR-tree, and its *normalized* cost
+decreases as the database grows — the actual cost grows sublinearly.
+"""
+
+from conftest import scaled, series
+
+from repro.eval.figures import fig7_dbsize
+from repro.eval.report import render_table
+
+
+def test_fig7_database_size(run_once, report):
+    sizes = tuple(scaled(s) for s in (4000, 8000, 12000, 16000))
+    rows = run_once(
+        fig7_dbsize,
+        sizes=sizes,
+        dims=64,
+        num_queries=scaled(25, minimum=8),
+    )
+    report(render_table(rows, "Figure 7(a,b) — database size sweep (64-d COLHIST)"))
+
+    hybrid = series(rows, "hybrid", "norm_io")
+    hb = series(rows, "hbtree", "norm_io")
+    sr = series(rows, "srtree", "norm_io")
+    # Shape: hybrid wins at every size; big margin over the SR-tree.
+    assert all(h <= b for h, b in zip(hybrid, hb)), (hybrid, hb)
+    assert all(h < s for h, s in zip(hybrid, sr)), (hybrid, sr)
+    assert sr[-1] / hybrid[-1] >= 3.0, (hybrid, sr)
+    # Shape: hybrid's normalized cost decreases with database size
+    # (sublinear growth of the actual cost).
+    assert hybrid[-1] <= hybrid[0] * 1.05, hybrid

@@ -1,0 +1,31 @@
+"""Lemma 1: implicit dimensionality reduction — measured.
+
+Pad COLHIST vectors with non-discriminating dimensions (identical values for
+every object).  Lemma 1 guarantees the hybrid tree never chooses them as
+split dimensions, so query I/O should stay nearly flat as they are added.
+"""
+
+from conftest import scaled
+
+from repro.eval.figures import lemma1_dimension_elimination
+from repro.eval.report import render_table
+
+
+def test_lemma1_dimension_elimination(run_once, report):
+    rows = run_once(
+        lemma1_dimension_elimination,
+        base_dims=16,
+        extra_dims_list=(0, 8, 16, 32, 48),
+        count=scaled(8000),
+        num_queries=scaled(25, minimum=8),
+    )
+    report(render_table(rows, "Lemma 1 — implicit dimensionality reduction"))
+
+    # Shape: padded dimensions are never used for splitting.
+    for row in rows:
+        assert row["padded_dims_used"] == 0, row
+    # Shape: I/O stays nearly flat as dead dimensions are added (the page
+    # capacity shrinks with physical dims, so allow that much drift).
+    base = float(rows[0]["io/query"])
+    worst = max(float(r["io/query"]) for r in rows)
+    assert worst <= max(4.0 * base, base + 30), (base, worst)

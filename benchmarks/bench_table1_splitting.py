@@ -1,0 +1,42 @@
+"""Table 1: splitting strategies of the index structures — measured.
+
+The paper's Table 1 is a design-property table; this benchmark regenerates
+it as *measurements* over real trees: split arity, fanout capacity (and its
+(in)dependence on dimensionality), overlap, utilisation guarantee, and
+posting redundancy.
+"""
+
+from conftest import scaled
+
+from repro.eval.report import render_table
+from repro.eval.tables import table1_splitting_strategies
+
+
+def test_table1_splitting_strategies(run_once, report):
+    rows = run_once(
+        table1_splitting_strategies,
+        dims_list=(16, 32, 64),
+        count=scaled(16000),
+    )
+    report(render_table(rows, "Table 1 — splitting strategies (measured)"))
+
+    by = {(r["index"], r["dims"]): r for r in rows}
+    # Fanout capacity: kd-organised structures are dimension-independent,
+    # the R-tree's shrinks with dimensionality.
+    assert by[("hybrid", 16)]["fanout_cap"] == by[("hybrid", 64)]["fanout_cap"]
+    assert by[("kdb", 16)]["fanout_cap"] == by[("kdb", 64)]["fanout_cap"]
+    assert by[("rtree", 64)]["fanout_cap"] < by[("rtree", 16)]["fanout_cap"] / 2
+    for dims in (16, 32, 64):
+        # Utilisation: hybrid and hB guarantee it; the KDB-tree does not.
+        assert by[("hybrid", dims)]["min_leaf_fill"] >= 0.3
+        assert by[("hb", dims)]["min_leaf_fill"] >= 0.3
+        # Overlap: kd-based structures are (nearly) overlap-free; the
+        # hybrid tree allows only a small fraction of overlapping splits.
+        assert by[("hybrid", dims)]["overlap_frac"] <= 0.2
+        assert by[("hb", dims)]["redundancy"] >= 1.0
+        assert by[("hybrid", dims)]["redundancy"] == 1.0
+    # KDB cascading splits leave (nearly) empty pages at some
+    # dimensionality — the missing utilisation guarantee.
+    assert min(by[("kdb", d)]["min_leaf_fill"] for d in (16, 32, 64)) < 0.1
+    # hB path posting shows up as redundancy once index splits occur.
+    assert max(by[("hb", d)]["redundancy"] for d in (16, 32, 64)) > 1.0

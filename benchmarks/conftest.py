@@ -1,0 +1,57 @@
+"""Shared configuration for the figure/table reproduction benchmarks.
+
+Every benchmark runs its experiment exactly once (``benchmark.pedantic`` with
+one round — the experiments are minutes-scale, not microbenchmarks), prints
+the paper-shaped table, and *asserts the published shape* (who wins, how the
+trend moves), which is the reproduction criterion; absolute numbers differ
+from the 1999 testbed by design.
+
+Scale knob: set ``REPRO_SCALE`` (float, default 1.0) to grow or shrink every
+dataset/query count, e.g. ``REPRO_SCALE=3 pytest benchmarks/`` for a run
+closer to the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def scaled(value: int, minimum: int = 4) -> int:
+    """Apply the global REPRO_SCALE multiplier to a size parameter."""
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    return max(minimum, int(value * scale))
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+@pytest.fixture()
+def report(request, capsys):
+    """Emit a result table to the live terminal AND benchmarks/results/."""
+
+    def emit(text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{request.node.name}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return emit
+
+
+def series(rows: list[dict], method: str, value: str, key: str = "method") -> list[float]:
+    """Extract one method's metric series from experiment rows."""
+    return [float(row[value]) for row in rows if row[key] == method]

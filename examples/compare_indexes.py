@@ -1,0 +1,41 @@
+"""Head-to-head: hybrid tree vs SR-tree, hB-tree and linear scan.
+
+A miniature rendition of the paper's Figure 6(c): build all four access
+methods over the same 64-d color-histogram collection, run an identical
+0.2%-selectivity workload against each, and print the normalized costs
+(linear scan = 0.1 I/O, 1.0 CPU by definition).
+
+Run with::
+
+    python examples/compare_indexes.py
+"""
+
+from repro.datasets import colhist_dataset, range_workload
+from repro.eval import build_index, render_table, run_workload
+
+
+def main() -> None:
+    print("generating 12,000 64-d color histograms ...")
+    data = colhist_dataset(12_000, dims=64, seed=0)
+    workload = range_workload(data, num_queries=20, selectivity=0.002, seed=1)
+    print(f"workload: {len(workload)} box queries, "
+          f"mean side {workload.box_side:.3f}, selectivity 0.2%")
+
+    rows = []
+    for kind in ("hybrid", "hbtree", "srtree", "scan"):
+        print(f"building {kind} ...")
+        index = build_index(kind, data)
+        result = run_workload(index, data, workload, kind=kind)
+        rows.append(result.row(pages=index.pages()))
+
+    print()
+    print(render_table(rows, "64-d COLHIST, 0.2% box queries (cf. paper Fig 6c,d)"))
+    print(
+        "\nreading the table: norm_io < 0.1 beats a linear scan; the paper's\n"
+        "result is hybrid << hB-tree < SR-tree, with the hybrid tree the\n"
+        "only method comfortably below the scan line."
+    )
+
+
+if __name__ == "__main__":
+    main()

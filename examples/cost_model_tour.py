@@ -1,0 +1,90 @@
+"""A tour of the hybrid tree's internals: why the splits are what they are.
+
+Walks through the Section 3.2/3.3 machinery interactively: the Minkowski
+access probabilities, the EDA split criterion, what ELS precision buys, and
+the structural statistics that make Table 1's claims measurable.
+
+Run with::
+
+    python examples/cost_model_tour.py
+"""
+
+import numpy as np
+
+from repro import HybridTree, L1, compute_stats
+from repro.core.splits import bipartition_intervals
+from repro.datasets import colhist_dataset
+from repro.geometry.eda import (
+    data_split_eda_increase,
+    index_split_eda_increase,
+)
+from repro.geometry.minkowski import minkowski_overlap_probability
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The Minkowski sum: who gets touched by a query.
+    # ------------------------------------------------------------------
+    print("1. A region with extents (0.3, 0.1) vs a cube query of side r:")
+    for r in (0.01, 0.05, 0.2):
+        p = minkowski_overlap_probability(np.array([0.3, 0.1]), r)
+        print(f"   r={r:<5} P(touch) = (0.3+r)(0.1+r) = {p:.4f}")
+
+    # ------------------------------------------------------------------
+    # 2. The EDA split criterion: why max extent wins for data nodes.
+    # ------------------------------------------------------------------
+    print("\n2. Splitting a data node whose region has extents (0.4, 0.1):")
+    for dim, extent in ((0, 0.4), (1, 0.1)):
+        cost = data_split_eda_increase(extent, query_side=0.05)
+        print(f"   split dim {dim} (s={extent}): EDA increase r/(s+r) = {cost:.3f}")
+    print("   -> the larger extent always costs less, for every query size.")
+
+    print("\n3. Index nodes may split with overlap w; the criterion becomes")
+    print("   (w+r)/(s+r):")
+    for w, s in ((0.0, 0.4), (0.05, 0.4), (0.4, 0.4)):
+        cost = index_split_eda_increase(s, w, query_side=0.05)
+        note = " (= never-split dimension: eliminated)" if w == s else ""
+        print(f"   w={w:<5} s={s}: {cost:.3f}{note}")
+
+    # ------------------------------------------------------------------
+    # 4. The 1-d interval bipartition in action.
+    # ------------------------------------------------------------------
+    print("\n4. Bipartitioning child intervals [lo, hi] along one dimension:")
+    intervals = np.array([[0.0, 0.3], [0.1, 0.4], [0.5, 0.8], [0.6, 0.9]])
+    left, right, lsp, rsp = bipartition_intervals(intervals, min_per_side=2)
+    print(f"   children {intervals.tolist()}")
+    print(f"   -> left {sorted(left)}, right {sorted(right)}, "
+          f"lsp={lsp:.2f}, rsp={rsp:.2f}, overlap={max(0.0, lsp - rsp):.2f}")
+
+    # ------------------------------------------------------------------
+    # 5. A real tree: structure statistics and the effect of ELS.
+    # ------------------------------------------------------------------
+    print("\n5. A 64-d color-histogram tree, measured:")
+    data = colhist_dataset(10_000, 64, seed=0)
+    tree = HybridTree(64, els_bits=4)
+    for oid, v in enumerate(data):
+        tree.insert(v, oid)
+    stats = compute_stats(tree)
+    print(f"   height {stats.height}, {stats.num_data_nodes} data nodes, "
+          f"{stats.num_index_nodes} index nodes")
+    print(f"   avg index fanout {stats.avg_index_fanout:.1f} "
+          f"(capacity {tree.index_capacity}, independent of the 64 dims)")
+    print(f"   avg data-page fill {stats.avg_data_utilization:.2f}, "
+          f"min {stats.min_data_utilization:.2f} (the guarantee)")
+    print(f"   overlapping kd splits: {stats.overlap_fraction:.2%} "
+          f"(overlap only where clean splits would cascade)")
+    print(f"   split dimensions used: {len(stats.split_dims_used)}/64")
+    print(f"   ELS side table: {stats.els_memory_bytes / 1024:.0f} KB in memory")
+
+    query = data[42].astype(np.float64)
+    for bits in (0, 4, 16):
+        tree.els.bits = bits
+        tree.io.reset()
+        tree.distance_range(query, 0.3, metric=L1)
+        print(f"   ELS {bits:>2} bits -> {tree.io.random_reads:4d} page reads "
+              f"for an L1 range query")
+    tree.els.bits = 4
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the page-budget capacity model (Table 1's fanout story).
+``generate``
+    Write a dataset (.npy) with one of the reconstructed generators.
+``build``
+    Build a hybrid tree over a .npy dataset and save it as a page file.
+``query``
+    Run a k-NN / distance-range / box query against a saved tree.
+``bench``
+    Run one of the paper-figure experiments and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import HybridTree
+from repro.distances import L1, L2, LINF, LpMetric
+from repro.geometry.rect import Rect
+
+_METRICS = {"l1": L1, "l2": L2, "linf": LINF}
+
+_BENCH_CHOICES = (
+    "fig5",
+    "fig5c",
+    "fig6-fourier",
+    "fig6-colhist",
+    "fig7-dbsize",
+    "fig7-distance",
+    "lemma1",
+    "approx-knn",
+)
+
+
+def _metric(name: str):
+    name = name.lower()
+    if name in _METRICS:
+        return _METRICS[name]
+    try:
+        return LpMetric(float(name))
+    except ValueError:
+        raise SystemExit(f"unknown metric {name!r}; use l1, l2, linf or a p-value")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.eval.report import render_table
+    from repro.storage.page import (
+        data_node_capacity,
+        kdtree_node_capacity,
+        rtree_node_capacity,
+        srtree_node_capacity,
+        sstree_node_capacity,
+    )
+
+    rows = []
+    for dims in args.dims:
+        rows.append(
+            {
+                "dims": dims,
+                "data_entries/page": data_node_capacity(dims),
+                "hybrid/hB/KDB fanout": kdtree_node_capacity(dims),
+                "rtree fanout": rtree_node_capacity(dims),
+                "sstree fanout": sstree_node_capacity(dims),
+                "srtree fanout": srtree_node_capacity(dims),
+            }
+        )
+    print(render_table(rows, f"Node capacities on {args.page_size}-byte pages"))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        clustered_dataset,
+        colhist_dataset,
+        fourier_dataset,
+        uniform_dataset,
+    )
+
+    makers = {
+        "colhist": lambda: colhist_dataset(args.count, args.dims, seed=args.seed),
+        "fourier": lambda: fourier_dataset(args.count, args.dims, seed=args.seed),
+        "uniform": lambda: uniform_dataset(args.count, args.dims, seed=args.seed),
+        "clustered": lambda: clustered_dataset(args.count, args.dims, seed=args.seed),
+    }
+    data = makers[args.dataset]()
+    np.save(args.out, data)
+    print(f"wrote {data.shape[0]} x {data.shape[1]} {args.dataset} vectors to {args.out}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    data = np.load(args.data)
+    if data.ndim != 2:
+        raise SystemExit(f"{args.data} is not a 2-d array")
+    if args.bulk:
+        tree = HybridTree.bulk_load(
+            data.astype(np.float32), els_bits=args.els_bits
+        )
+    else:
+        tree = HybridTree(data.shape[1], els_bits=args.els_bits)
+        for oid, vector in enumerate(data.astype(np.float32)):
+            tree.insert(vector, oid)
+    tree.save(args.out)
+    print(
+        f"built hybrid tree: {len(tree):,} points, height {tree.height}, "
+        f"{tree.pages():,} pages -> {args.out}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    tree = HybridTree.open(args.tree)
+    metric = _metric(args.metric)
+    if args.knn is not None:
+        vector = np.array([float(x) for x in args.vector.split(",")])
+        results = tree.knn(vector, args.knn, metric=metric)
+        for oid, dist in results:
+            print(f"{oid}\t{dist:.6f}")
+    elif args.radius is not None:
+        vector = np.array([float(x) for x in args.vector.split(",")])
+        results = sorted(
+            tree.distance_range(vector, args.radius, metric=metric),
+            key=lambda t: t[1],
+        )
+        for oid, dist in results:
+            print(f"{oid}\t{dist:.6f}")
+    elif args.box is not None:
+        low_str, high_str = args.box.split(":")
+        low = np.array([float(x) for x in low_str.split(",")])
+        high = np.array([float(x) for x in high_str.split(",")])
+        for oid in sorted(tree.range_search(Rect(low, high))):
+            print(oid)
+    else:
+        raise SystemExit("specify one of --knn, --radius or --box")
+    print(
+        f"# {tree.io.random_reads} page reads over a {tree.pages():,}-page tree",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.eval import figures, render_table
+
+    scale = args.scale
+
+    def n(x: int) -> int:
+        return max(4, int(x * scale))
+
+    runners = {
+        "fig5": lambda: figures.fig5_eda_vs_vam(count=n(8000), num_queries=n(25)),
+        "fig5c": lambda: figures.fig5c_els(count=n(8000), num_queries=n(25)),
+        "fig6-fourier": lambda: figures.fig6_dimensionality(
+            "fourier", count=n(40000), num_queries=n(25)
+        ),
+        "fig6-colhist": lambda: figures.fig6_dimensionality(
+            "colhist", count=n(12000), num_queries=n(25)
+        ),
+        "fig7-dbsize": lambda: figures.fig7_dbsize(
+            sizes=tuple(n(s) for s in (4000, 8000, 12000, 16000)),
+            num_queries=n(25),
+        ),
+        "fig7-distance": lambda: figures.fig7_distance(
+            count=n(12000), num_queries=n(20)
+        ),
+        "lemma1": lambda: figures.lemma1_dimension_elimination(
+            count=n(8000), num_queries=n(25)
+        ),
+        "approx-knn": lambda: figures.ext_approximate_knn(
+            count=n(12000), num_queries=n(20)
+        ),
+    }
+    rows = runners[args.figure]()
+    print(render_table(rows, f"{args.figure} (scale {scale})"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid tree (ICDE 1999) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="print the page-budget capacity model")
+    p.add_argument("--dims", type=int, nargs="+", default=[8, 16, 32, 64])
+    p.add_argument("--page-size", type=int, default=4096)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("generate", help="generate a dataset (.npy)")
+    p.add_argument("--dataset", choices=["colhist", "fourier", "uniform", "clustered"],
+                   required=True)
+    p.add_argument("--count", type=int, required=True)
+    p.add_argument("--dims", type=int, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("build", help="build and save a hybrid tree")
+    p.add_argument("--data", required=True, help="input .npy (n, dims) array")
+    p.add_argument("--out", required=True, help="output page file")
+    p.add_argument("--els-bits", type=int, default=4)
+    p.add_argument("--bulk", action="store_true", help="bulk load (default: insert)")
+    p.set_defaults(fn=cmd_build)
+
+    p = sub.add_parser("query", help="query a saved hybrid tree")
+    p.add_argument("--tree", required=True, help="saved page file")
+    p.add_argument("--vector", help="comma-separated query vector")
+    p.add_argument("--knn", type=int, help="k nearest neighbours")
+    p.add_argument("--radius", type=float, help="distance range radius")
+    p.add_argument("--box", help="box query 'low1,low2,...:high1,high2,...'")
+    p.add_argument("--metric", default="l2", help="l1 | l2 | linf | <p>")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("bench", help="run a paper-figure experiment")
+    p.add_argument("--figure", choices=_BENCH_CHOICES, required=True)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(fn=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Top-down bulk loading of a hybrid tree.
+
+Dynamic insertion builds the paper's tree one point at a time; for large
+benchmark datasets we also provide the standard top-down alternative: apply
+the same split rules (EDA dimension choice, middle position, utilization
+bound) recursively over the whole dataset until partitions fit a data page,
+producing one global kd split tree whose leaves are data nodes; then chop
+that tree into page-sized index nodes level by level.  Every split is clean
+(``lsp == rsp``), so a bulk-loaded tree starts with zero overlap — the
+paper's structure in its best case; subsequent dynamic inserts and deletes
+work on it normally and introduce overlap only where the paper allows it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import kdnodes
+from repro.core.kdnodes import KDInternal, KDLeaf, KDNode
+from repro.core.nodes import DataNode, IndexNode
+from repro.core.splits import choose_data_split
+from repro.geometry.rect import Rect
+
+
+def bulk_load_into(tree, vectors: np.ndarray, oids: np.ndarray | None = None) -> None:
+    """Populate an *empty* ``HybridTree`` with ``vectors`` in one pass.
+
+    ``oids`` defaults to ``0..n-1``.  The tree's split policy/position and
+    min-fill settings are honoured.
+    """
+    if len(tree) != 0:
+        raise ValueError("bulk_load requires an empty tree")
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2 or vectors.shape[1] != tree.dims:
+        raise ValueError(f"expected an (n, {tree.dims}) array")
+    n = vectors.shape[0]
+    if oids is None:
+        oids = np.arange(n, dtype=np.uint32)
+    else:
+        oids = np.asarray(oids, dtype=np.uint32)
+        if oids.shape != (n,):
+            raise ValueError("oids must align with vectors")
+    if n == 0:
+        return
+
+    lows = vectors.min(axis=0).astype(np.float64)
+    highs = vectors.max(axis=0).astype(np.float64)
+    tree.bounds = tree.bounds.merge(Rect(lows, highs))
+
+    # Root was pre-allocated as an empty data node; recycle its page.
+    tree.nm.free(tree._root_id)
+
+    def build_data_level(indices: np.ndarray) -> KDNode:
+        if len(indices) <= tree.data_capacity:
+            node = DataNode(tree.dims, tree.data_capacity)
+            node.vectors[: len(indices)] = vectors[indices]
+            node.oids[: len(indices)] = oids[indices]
+            node.count = len(indices)
+            node_id = tree.nm.allocate()
+            tree.nm.put(node_id, node, charge=False)
+            tree.els.set(node_id, node.live_rect())
+            return KDLeaf(node_id)
+        split = choose_data_split(
+            vectors[indices].astype(np.float64),
+            tree.min_fill,
+            tree.split_policy,
+            tree.split_position,
+        )
+        pos = float(np.float32(split.position))
+        left = build_data_level(indices[split.left_indices])
+        right = build_data_level(indices[split.right_indices])
+        return KDInternal(split.dim, pos, pos, left, right)
+
+    kd = build_data_level(np.arange(n))
+    level = 1
+    while isinstance(kd, KDInternal):
+        kd = _pack_level(tree, kd, level)
+        level += 1
+    # kd is now a single leaf pointing at the root node.
+    tree._root_id = kd.child_id
+    tree._height = level
+    tree._count = n
+
+
+def _pack_level(tree, kd: KDNode, level: int) -> KDNode:
+    """Chop a kd split tree into page-sized index nodes at ``level``.
+
+    Subtrees with at most ``index_capacity`` leaves become one index node;
+    larger subtrees keep their top split and recurse, so the returned tree's
+    leaves are the new (level-``level``) nodes and its internals become the
+    next level's intranode structure.
+    """
+    if isinstance(kd, KDLeaf) or kdnodes.count_leaves(kd) <= tree.index_capacity:
+        if isinstance(kd, KDLeaf):
+            # A lone child cannot form a legal index node; let the caller
+            # absorb it (only possible at the very top, handled by the loop).
+            return kd
+        node = IndexNode(kd, level)
+        node_id = tree.nm.allocate()
+        tree.nm.put(node_id, node, charge=False)
+        lives = [tree.els.get(c) for c in node.child_ids()]
+        tree.els.set(node_id, Rect.merge_all([r for r in lives if r is not None]))
+        return KDLeaf(node_id)
+    assert isinstance(kd, KDInternal)
+    if kdnodes.count_leaves(kd.left) < 2 or kdnodes.count_leaves(kd.right) < 2:
+        # A lone child next to an over-capacity sibling cannot form a legal
+        # index node.  The utilization bound on splits makes leaf counts of
+        # siblings comparable (ratio far below the ~225 fanout needed to hit
+        # this), so the case is unreachable for any min_fill >= 0.1.
+        raise NotImplementedError(
+            "pathologically skewed split tree; load this dataset with insert()"
+        )
+    left = _pack_level(tree, kd.left, level)
+    right = _pack_level(tree, kd.right, level)
+    return KDInternal(kd.dim, kd.lsp, kd.rsp, left, right)

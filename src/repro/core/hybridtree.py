@@ -1,0 +1,893 @@
+"""The hybrid tree (paper Section 3): public API and tree operations.
+
+A paged, height-balanced multidimensional index.  Index nodes organise their
+children as intranode kd-trees with dual split positions (``lsp``/``rsp``),
+so fanout is independent of dimensionality and intranode search is
+logarithmic; regions may overlap only where a clean split would force
+downward cascading splits — the paper's "hybrid" of space- and
+data-partitioning.  Data nodes split cleanly on the EDA-optimal (maximum
+extent) dimension; index nodes split by the 1-d interval bipartition and the
+EDA criterion ``(w + r)/(s + r)``.  Dead space is eliminated with Encoded
+Live Space (ELS) boxes kept in memory.
+
+Supported queries: bounding-box range, point lookup, distance range and
+exact/approximate k-nearest-neighbour under any
+:class:`~repro.distances.Metric` supplied at query time.  All operations are
+fully dynamic (inserts and deletes interleave with queries), and the tree can
+be saved to / reopened from a real page file.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import os
+
+import numpy as np
+
+from repro.core import kdnodes
+from repro.core.els import ELSTable
+from repro.core.kdnodes import KDInternal, KDLeaf, KDNode
+from repro.core.nodes import DataNode, IndexNode
+from repro.core.splits import (
+    POLICY_EDA,
+    POLICY_RR,
+    POSITION_MIDDLE,
+    choose_data_split,
+    choose_index_split,
+    reset_round_robin,
+)
+from repro.distances import L2, Metric
+from repro.geometry.rect import Rect
+from repro.storage.iostats import IOStats
+from repro.storage.nodemanager import NodeManager
+from repro.storage.page import (
+    PageLayout,
+    data_node_capacity,
+    kdtree_node_capacity,
+)
+from repro.storage.pagestore import FilePageStore, PageStore
+
+
+def _f32(x: float) -> float:
+    """Round a split position to float32, the precision pages store."""
+    return float(np.float32(x))
+
+
+class HybridTree:
+    """Hybrid tree over a ``dims``-dimensional normalized feature space.
+
+    Parameters
+    ----------
+    dims:
+        Dimensionality of the feature vectors.
+    page_size:
+        Disk page size in bytes; node capacities derive from it (default
+        4096, the paper's setting).
+    min_fill:
+        Utilization guarantee as a fraction of capacity (default 0.4).
+    split_policy:
+        ``"eda"`` for the paper's EDA-optimal splits, ``"vam"`` for the
+        VAMSplit baseline of Figure 5(a,b).
+    split_position:
+        ``"middle"`` (paper, more cubic regions) or ``"median"`` ablation.
+    els_bits:
+        Encoded-live-space precision in bits per boundary; 0 disables ELS
+        (Figure 5(c) sweeps this).
+    expected_query_side:
+        The query side length ``r`` the index-node EDA criterion optimizes
+        for (Section 3.3; the paper's experiments use a fixed ``r``).
+    bounds:
+        The data space; defaults to the unit cube and grows automatically if
+        out-of-range points arrive.
+    store / stats:
+        Optional page store and shared I/O accountant.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        *,
+        page_size: int = 4096,
+        min_fill: float = 0.4,
+        split_policy: str = POLICY_EDA,
+        split_position: str = POSITION_MIDDLE,
+        els_bits: int = 4,
+        expected_query_side: float = 0.1,
+        bounds: Rect | None = None,
+        store: PageStore | None = None,
+        stats: IOStats | None = None,
+    ):
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        self.dims = dims
+        self.layout = PageLayout(page_size=page_size)
+        self.data_capacity = data_node_capacity(dims, self.layout)
+        self.index_capacity = kdtree_node_capacity(dims, self.layout)
+        self.min_fill = min_fill
+        self.split_policy = split_policy
+        self.split_position = split_position
+        self.expected_query_side = expected_query_side
+        self.bounds = bounds if bounds is not None else Rect.unit(dims)
+        if self.bounds.dims != dims:
+            raise ValueError("bounds dimensionality mismatch")
+        if split_policy == POLICY_RR:
+            reset_round_robin()
+        self.nm = NodeManager(store=store, stats=stats)
+        self.els = ELSTable(dims, els_bits)
+        self._root_id = self.nm.allocate()
+        self.nm.put(self._root_id, DataNode(dims, self.data_capacity), charge=False)
+        self._height = 1
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 = the root is a data node)."""
+        return self._height
+
+    @property
+    def root_id(self) -> int:
+        return self._root_id
+
+    @property
+    def io(self) -> IOStats:
+        """The I/O accountant shared with the page store."""
+        return self.nm.stats
+
+    def pages(self) -> int:
+        """Pages occupied by the tree."""
+        return self.nm.store.allocated_pages
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls, vectors: np.ndarray, oids: np.ndarray | None = None, **kwargs
+    ) -> "HybridTree":
+        """Build a tree top-down from a full dataset (see
+        :mod:`repro.core.bulkload`).  ``kwargs`` are constructor options."""
+        from repro.core.bulkload import bulk_load_into
+
+        vectors = np.asarray(vectors, dtype=np.float32)
+        tree = cls(vectors.shape[1], **kwargs)
+        bulk_load_into(tree, vectors, oids)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Insertion (Section 3.5; descent as in R-trees, kd-navigated)
+    # ------------------------------------------------------------------
+    def insert(self, vector: np.ndarray, oid: int) -> None:
+        """Insert ``(vector, oid)``.  Duplicate vectors/oids are allowed."""
+        v = self._check_vector(vector)
+        if not self.bounds.contains_point(v):
+            self.bounds = self.bounds.merge_point(v)
+
+        # Prefer a root-to-leaf path whose regions all contain the point
+        # (backtracking over overlap zones): no region ever widens, so the
+        # data level stays overlap-free (Section 3.6).  Only when
+        # overlapping index splits have left the point in a coverage hole
+        # on *every* path does the greedy descent widen kd positions.
+        descent = self._containment_descent(self._root_id, self.bounds, v)
+        if descent is None:
+            descent = self._greedy_descent(v)
+        path, (node_id, node, _region) = descent[:-1], descent[-1]
+        for ancestor_id, _, _ in path:
+            self.els.merge_point(ancestor_id, v)
+        self.els.merge_point(node_id, v)
+        if not node.is_full:
+            node.add(v, oid)
+            self.nm.put(node_id, node)
+        else:
+            self._split_data_node(path, node_id, node, v, oid)
+        self._count += 1
+
+    def _containment_descent(
+        self, node_id: int, region: Rect, v: np.ndarray
+    ) -> list[tuple[int, object, Rect]] | None:
+        """Depth-first search for a fully containing path; smallest-region
+        children first (the zero-enlargement, min-volume R-tree rule)."""
+        node = self.nm.get(node_id)
+        if isinstance(node, DataNode):
+            return [(node_id, node, region)]
+        containing: list[tuple[float, int, Rect]] = []
+
+        def collect(kd: KDNode, kd_region: Rect) -> None:
+            if isinstance(kd, KDLeaf):
+                containing.append((kd_region.volume(), kd.child_id, kd_region))
+                return
+            x = v[kd.dim]
+            if x <= kd.lsp:
+                collect(kd.left, kd_region.clip_below(kd.dim, kd.lsp))
+            if x >= kd.rsp:
+                collect(kd.right, kd_region.clip_above(kd.dim, kd.rsp))
+
+        collect(node.kd_root, region)
+        containing.sort(key=lambda t: t[0])
+        for _, child_id, child_region in containing:
+            sub = self._containment_descent(child_id, child_region, v)
+            if sub is not None:
+                return [(node_id, node, region)] + sub
+        return None
+
+    def _greedy_descent(self, v: np.ndarray) -> list[tuple[int, object, Rect]]:
+        """Fallback descent that widens kd positions to absorb the point."""
+        descent: list[tuple[int, object, Rect]] = []
+        node_id, region = self._root_id, self.bounds
+        node = self.nm.get(node_id)
+        while isinstance(node, IndexNode):
+            descent.append((node_id, node, region))
+            node_id, region = self._choose_child(node, region, v)
+            node = self.nm.get(node_id)
+        descent.append((node_id, node, region))
+        return descent
+
+    def _check_vector(self, vector: np.ndarray) -> np.ndarray:
+        v = np.asarray(vector, dtype=np.float32).astype(np.float64)
+        if v.shape != (self.dims,):
+            raise ValueError(f"expected a {self.dims}-d vector, got shape {v.shape}")
+        if not np.all(np.isfinite(v)):
+            raise ValueError("vector must be finite")
+        return v
+
+    def _choose_child(
+        self, node: IndexNode, region: Rect, point: np.ndarray
+    ) -> tuple[int, Rect]:
+        """Pick the child to descend into (min enlargement, ties by volume).
+
+        Children tile or overlap the node's region, so a containing child
+        almost always exists; among containing children the smallest region
+        wins (zero enlargement for all of them).  If no child contains the
+        point (possible after overlapping splits leave a one-sided hole), the
+        least-enlargement leaf is chosen and the split positions on its kd
+        path are widened to absorb the point — the hybrid-tree analogue of
+        R-tree region enlargement.
+        """
+        containing: list[tuple[float, KDLeaf, Rect]] = []
+
+        def collect(kd: KDNode, kd_region: Rect) -> None:
+            if isinstance(kd, KDLeaf):
+                containing.append((kd_region.volume(), kd, kd_region))
+                return
+            x = point[kd.dim]
+            if x <= kd.lsp:
+                collect(kd.left, kd_region.clip_below(kd.dim, kd.lsp))
+            if x >= kd.rsp:
+                collect(kd.right, kd_region.clip_above(kd.dim, kd.rsp))
+
+        collect(node.kd_root, region)
+        if containing:
+            _, leaf, leaf_region = min(containing, key=lambda t: t[0])
+            return leaf.child_id, leaf_region
+
+        # No containing leaf: widen the cheapest leaf's kd path.
+        best_leaf_id: int | None = None
+        best_cost = (np.inf, np.inf)
+        for leaf, leaf_region in kdnodes.leaves_with_regions(node.kd_root, region):
+            cost = (leaf_region.enlargement(point), leaf_region.volume())
+            if cost < best_cost:
+                best_cost = cost
+                best_leaf_id = leaf.child_id
+        assert best_leaf_id is not None
+        self._widen_path_to(node.kd_root, best_leaf_id, point)
+        leaf_region = kdnodes.region_of_child(node.kd_root, region, best_leaf_id)
+        return best_leaf_id, leaf_region
+
+    def _widen_path_to(self, kd: KDNode, child_id: int, point: np.ndarray) -> bool:
+        """Adjust lsp/rsp along the path to ``child_id`` so its region
+        contains ``point``.  Widening only increases overlap, never creates
+        gaps (``lsp`` grows / ``rsp`` shrinks)."""
+        if isinstance(kd, KDLeaf):
+            return kd.child_id == child_id
+        if self._widen_path_to(kd.left, child_id, point):
+            if point[kd.dim] > kd.lsp:
+                kd.lsp = _f32(point[kd.dim])
+            return True
+        if self._widen_path_to(kd.right, child_id, point):
+            if point[kd.dim] < kd.rsp:
+                kd.rsp = _f32(point[kd.dim])
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Splitting
+    # ------------------------------------------------------------------
+    def _split_data_node(
+        self,
+        path: list[tuple[int, IndexNode, Rect]],
+        node_id: int,
+        node: DataNode,
+        vector: np.ndarray,
+        oid: int,
+    ) -> None:
+        points = np.vstack([node.points(), np.asarray(vector, dtype=np.float32)])
+        oids = np.append(node.live_oids(), np.uint32(oid))
+        split = choose_data_split(
+            points, self.min_fill, self.split_policy, self.split_position
+        )
+        left = DataNode(self.dims, self.data_capacity)
+        right = DataNode(self.dims, self.data_capacity)
+        for idx in split.left_indices:
+            left.add(points[idx], int(oids[idx]))
+        for idx in split.right_indices:
+            right.add(points[idx], int(oids[idx]))
+        right_id = self.nm.allocate()
+        self.nm.put(node_id, left)
+        self.nm.put(right_id, right)
+        self.els.set(node_id, left.live_rect())
+        self.els.set(right_id, right.live_rect())
+        pos = _f32(split.position)
+        self._install_split(path, node_id, right_id, split.dim, pos, pos)
+
+    def _split_index_node(self, path: list[tuple[int, IndexNode, Rect]]) -> None:
+        node_id, node, region = path.pop()
+        children = node.children_with_regions(region)
+        split = choose_index_split(
+            children, self.min_fill, self.expected_query_side, self.split_policy
+        )
+        left_kd = kdnodes.prune_to_children(node.kd_root, set(split.left_ids))
+        right_kd = kdnodes.prune_to_children(node.kd_root, set(split.right_ids))
+        assert left_kd is not None and right_kd is not None
+        left_node = IndexNode(left_kd, node.level)
+        right_node = IndexNode(right_kd, node.level)
+        right_id = self.nm.allocate()
+        self.nm.put(node_id, left_node)
+        self.nm.put(right_id, right_node)
+        self._refresh_els_from_children(node_id, left_node, region)
+        self._refresh_els_from_children(right_id, right_node, region)
+        self._install_split(
+            path, node_id, right_id, split.dim, _f32(split.lsp), _f32(split.rsp)
+        )
+
+    def _refresh_els_from_children(
+        self, node_id: int, node: IndexNode, region: Rect
+    ) -> None:
+        rects = []
+        for child_id, child_region in node.children_with_regions(region):
+            live = self.els.get(child_id)
+            rects.append(live if live is not None else child_region)
+        self.els.set(node_id, Rect.merge_all(rects))
+
+    def _install_split(
+        self,
+        path: list[tuple[int, IndexNode, Rect]],
+        old_id: int,
+        new_id: int,
+        dim: int,
+        lsp: float,
+        rsp: float,
+    ) -> None:
+        """Post a child split ``old -> (old, new)`` to the parent: the child's
+        kd leaf becomes a fresh dual-position internal node.  Cascades upward
+        (never downward) when the parent overflows; splits the root by
+        growing a new root, keeping the tree height-balanced."""
+        new_internal = KDInternal(dim, lsp, rsp, KDLeaf(old_id), KDLeaf(new_id))
+        if not path:
+            root = IndexNode(new_internal, level=self._height)
+            new_root_id = self.nm.allocate()
+            self.nm.put(new_root_id, root)
+            self._root_id = new_root_id
+            self._height += 1
+            self._refresh_els_from_children(new_root_id, root, self.bounds)
+            return
+        parent_id, parent, _parent_region = path[-1]
+        parent.kd_root = kdnodes.replace_leaf(parent.kd_root, old_id, new_internal)
+        self.nm.put(parent_id, parent)
+        if parent.fanout > self.index_capacity:
+            self._split_index_node(path)
+
+    # ------------------------------------------------------------------
+    # Deletion (eliminate-and-reinsert, Section 3.5 / Guttman)
+    # ------------------------------------------------------------------
+    def delete(self, vector: np.ndarray, oid: int) -> bool:
+        """Remove one entry matching ``(vector, oid)`` exactly.
+
+        Returns ``True`` if an entry was removed.  Underfull data nodes are
+        eliminated and their surviving entries reinserted; underfull index
+        nodes are eliminated and their child subtrees reinserted at the
+        correct level (the R-tree CondenseTree policy).
+        """
+        v = self._check_vector(vector)
+        found = self._find_entry(v, oid)
+        if found is None:
+            return False
+        path, node_id, node, entry_idx = found
+        node.remove_at(entry_idx)
+        self.nm.put(node_id, node)
+        self._count -= 1
+        min_entries = max(1, int(np.floor(self.min_fill * self.data_capacity)))
+        if node.count >= min_entries or not path:
+            if node.count > 0:
+                self.els.set(node_id, node.live_rect())  # tighten eagerly
+            elif not path:
+                self.els.drop(node_id)
+            return True
+        # Underflow: eliminate the node and reinsert its entries.
+        survivors = [
+            (node.points()[i].copy(), int(node.live_oids()[i])) for i in range(node.count)
+        ]
+        self._remove_child(path, node_id)
+        self._count -= len(survivors)
+        for point, point_oid in survivors:
+            self.insert(point, point_oid)
+        return True
+
+    def _find_entry(
+        self, v: np.ndarray, oid: int
+    ) -> tuple[list[tuple[int, IndexNode, Rect]], int, DataNode, int] | None:
+        """DFS for the data node holding ``(v, oid)``, returning its path."""
+        stack: list[tuple[int, Rect, list]] = [(self._root_id, self.bounds, [])]
+        target = np.asarray(v, dtype=np.float32)
+        while stack:
+            node_id, region, path = stack.pop()
+            node = self.nm.get(node_id)
+            if isinstance(node, DataNode):
+                idx = node.find_entry(target, oid)
+                if idx is not None:
+                    return path, node_id, node, idx
+                continue
+            new_path = path + [(node_id, node, region)]
+            for child_id, child_region in node.children_with_regions(region):
+                if not child_region.contains_point(v):
+                    continue
+                live = self.els.effective_rect(child_id, child_region)
+                if live.contains_point(v):
+                    stack.append((child_id, child_region, new_path))
+        return None
+
+    def _remove_child(
+        self, path: list[tuple[int, IndexNode, Rect]], child_id: int
+    ) -> None:
+        parent_id, parent, parent_region = path[-1]
+        parent.kd_root = kdnodes.remove_leaf(parent.kd_root, child_id)
+        assert parent.kd_root is not None, "index nodes always hold >= 2 children"
+        self.nm.free(child_id)
+        self.els.drop(child_id)
+        self.nm.put(parent_id, parent)
+        min_children = max(2, int(np.floor(self.min_fill * self.index_capacity)))
+        if parent_id == self._root_id:
+            if parent.fanout == 1:
+                only = parent.child_ids()[0]
+                self.nm.free(parent_id)
+                self.els.drop(parent_id)
+                self._root_id = only
+                self._height -= 1
+            return
+        if parent.fanout >= min_children:
+            return
+        # Index-node underflow: eliminate the parent, reinsert its subtrees.
+        orphans = parent.children_with_regions(parent_region)
+        self._remove_child(path[:-1], parent_id)
+        for orphan_id, _orphan_region in orphans:
+            self._reinsert_subtree(orphan_id, parent.level - 1)
+
+    def _reinsert_subtree(self, subtree_id: int, subtree_level: int) -> None:
+        """Re-attach an orphaned subtree at its original level.
+
+        Descends by least enlargement of the subtree's live box, then pairs
+        the orphan with the best-matching kd leaf under a new clean/minimal
+        dual-position internal node.  Overflow is handled by the normal
+        index-node split path.
+        """
+        live = self.els.get(subtree_id)
+        if live is None:
+            live = self.bounds
+        center = live.center
+        path: list[tuple[int, IndexNode, Rect]] = []
+        node_id, region = self._root_id, self.bounds
+        node = self.nm.get(node_id)
+        while isinstance(node, IndexNode) and node.level > subtree_level + 1:
+            path.append((node_id, node, region))
+            self.els.set(node_id, (self.els.get(node_id) or live).merge(live))
+            node_id, region = self._choose_child(node, region, center)
+            node = self.nm.get(node_id)
+        if not isinstance(node, IndexNode):
+            raise RuntimeError("reinsert descended past the target level")
+        # Attach: pair with the leaf whose region is cheapest to merge with.
+        best: tuple[float, int, Rect] | None = None
+        for leaf, leaf_region in kdnodes.leaves_with_regions(node.kd_root, region):
+            cost = leaf_region.enlargement_rect(live)
+            if best is None or cost < best[0]:
+                best = (cost, leaf.child_id, leaf_region)
+        assert best is not None
+        _, buddy_id, buddy_region = best
+        pair_kd = self._pair_children(buddy_id, buddy_region, subtree_id, live)
+        node.kd_root = kdnodes.replace_leaf(node.kd_root, buddy_id, pair_kd)
+        self.nm.put(node_id, node)
+        self.els.set(node_id, (self.els.get(node_id) or live).merge(live))
+        path.append((node_id, node, region))
+        if node.fanout > self.index_capacity:
+            self._split_index_node(path)
+
+    def _pair_children(
+        self, left_id: int, left_rect: Rect, right_id: int, right_rect: Rect
+    ) -> KDInternal:
+        """Build a dual-position internal separating two sibling regions on
+        the dimension where they are most cleanly separable."""
+        gaps = right_rect.low - left_rect.high  # >0 means clean gap
+        reverse_gaps = left_rect.low - right_rect.high
+        if float(reverse_gaps.max()) > float(gaps.max()):
+            return self._pair_children(right_id, right_rect, left_id, left_rect)
+        dim = int(np.argmax(gaps))
+        lsp = _f32(left_rect.high[dim])
+        rsp = _f32(right_rect.low[dim])
+        if lsp < rsp:
+            lsp = rsp = _f32((lsp + rsp) / 2.0)
+        return KDInternal(dim, lsp, rsp, KDLeaf(left_id), KDLeaf(right_id))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_search(self, query: Rect) -> list[int]:
+        """Object ids of all points inside the closed box ``query``."""
+        if query.dims != self.dims:
+            raise ValueError("query dimensionality mismatch")
+        results: list[np.ndarray] = []
+
+        def visit(node_id: int, region: Rect) -> None:
+            node = self.nm.get(node_id)
+            if isinstance(node, DataNode):
+                if node.count:
+                    mask = query.contains_points_mask(node.points())
+                    if mask.any():
+                        results.append(node.live_oids()[mask])
+                return
+            walk(node.kd_root, region)
+
+        def walk(kd: KDNode, region: Rect) -> None:
+            if isinstance(kd, KDLeaf):
+                live = self.els.effective_rect(kd.child_id, region)
+                if query.intersects(live):
+                    visit(kd.child_id, region)
+                return
+            if query.low[kd.dim] <= kd.lsp:
+                walk(kd.left, region.clip_below(kd.dim, kd.lsp))
+            if query.high[kd.dim] >= kd.rsp:
+                walk(kd.right, region.clip_above(kd.dim, kd.rsp))
+
+        visit(self._root_id, self.bounds)
+        return [int(o) for arr in results for o in arr]
+
+    def point_search(self, vector: np.ndarray) -> list[int]:
+        """Object ids stored at exactly ``vector`` (float32 equality)."""
+        v32 = np.asarray(vector, dtype=np.float32).astype(np.float64)
+        return self.range_search(Rect(v32, v32))
+
+    def distance_range(
+        self, query: np.ndarray, radius: float, metric: Metric = L2
+    ) -> list[tuple[int, float]]:
+        """All ``(oid, distance)`` with ``distance <= radius`` under
+        ``metric`` — the paper's distance-based range query, usable with a
+        different metric on every call."""
+        q = self._check_vector(query)
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        out: list[tuple[int, float]] = []
+
+        def visit(node_id: int, region: Rect) -> None:
+            node = self.nm.get(node_id)
+            if isinstance(node, DataNode):
+                if node.count:
+                    dists = metric.distance_batch(node.points().astype(np.float64), q)
+                    for i in np.flatnonzero(dists <= radius):
+                        out.append((int(node.live_oids()[i]), float(dists[i])))
+                return
+            walk(node.kd_root, region)
+
+        def walk(kd: KDNode, region: Rect) -> None:
+            if isinstance(kd, KDLeaf):
+                live = self.els.effective_rect(kd.child_id, region)
+                if metric.mindist_rect(q, live.low, live.high) <= radius:
+                    visit(kd.child_id, region)
+                return
+            left_region = region.clip_below(kd.dim, kd.lsp)
+            if metric.mindist_rect(q, left_region.low, left_region.high) <= radius:
+                walk(kd.left, left_region)
+            right_region = region.clip_above(kd.dim, kd.rsp)
+            if metric.mindist_rect(q, right_region.low, right_region.high) <= radius:
+                walk(kd.right, right_region)
+
+        visit(self._root_id, self.bounds)
+        return out
+
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        metric: Metric = L2,
+        approximation_factor: float = 0.0,
+    ) -> list[tuple[int, float]]:
+        """The ``k`` nearest neighbours of ``query`` under ``metric``.
+
+        Best-first branch-and-bound (Hjaltason & Samet style) over live-space
+        boxes.  With ``approximation_factor = eps > 0`` the search prunes
+        nodes whose lower bound exceeds ``best_k / (1 + eps)``, returning
+        neighbours within a ``(1 + eps)`` factor of optimal — the paper's
+        future-work approximate-NN mode.
+        """
+        q = self._check_vector(query)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if approximation_factor < 0:
+            raise ValueError("approximation_factor must be >= 0")
+        shrink = 1.0 / (1.0 + approximation_factor)
+        counter = itertools.count()
+        frontier: list[tuple[float, int, int, Rect]] = [
+            (0.0, next(counter), self._root_id, self.bounds)
+        ]
+        # Max-heap of the best k (negated distances).
+        best: list[tuple[float, int]] = []
+
+        def kth() -> float:
+            return -best[0][0] if len(best) >= k else np.inf
+
+        while frontier:
+            bound, _, node_id, region = heapq.heappop(frontier)
+            if bound > kth() * shrink:
+                break
+            node = self.nm.get(node_id)
+            if isinstance(node, DataNode):
+                if not node.count:
+                    continue
+                dists = metric.distance_batch(node.points().astype(np.float64), q)
+                for i, dist in enumerate(dists):
+                    dist = float(dist)
+                    if dist < kth() or len(best) < k:
+                        heapq.heappush(best, (-dist, int(node.live_oids()[i])))
+                        if len(best) > k:
+                            heapq.heappop(best)
+                continue
+            for child_id, child_region in node.children_with_regions(region):
+                live = self.els.effective_rect(child_id, child_region)
+                child_bound = metric.mindist_rect(q, live.low, live.high)
+                if child_bound <= kth() * shrink:
+                    heapq.heappush(
+                        frontier, (child_bound, next(counter), child_id, child_region)
+                    )
+        return sorted(((oid, -neg) for neg, oid in best), key=lambda t: (t[1], t[0]))
+
+    def nearest_iter(self, query: np.ndarray, metric: Metric = L2):
+        """Yield ``(oid, distance)`` in non-decreasing distance order.
+
+        Hjaltason-Samet distance browsing: a single priority queue holds
+        tree nodes (keyed by their live-box lower bound) and already-scored
+        points; a point is emitted only once no pending node could beat it.
+        This is the primitive behind ranked similarity queries (MARS-style
+        "give me results until the user stops"), where k is unknown upfront.
+        """
+        q = self._check_vector(query)
+        counter = itertools.count()
+        # Entries: (key, tiebreak, kind, payload); kind 0 = point, 1 = node.
+        heap: list[tuple[float, int, int, object]] = [
+            (0.0, next(counter), 1, (self._root_id, self.bounds))
+        ]
+        while heap:
+            key, _, kind, payload = heapq.heappop(heap)
+            if kind == 0:
+                yield payload, key  # (oid, distance)
+                continue
+            node_id, region = payload
+            node = self.nm.get(node_id)
+            if isinstance(node, DataNode):
+                if node.count:
+                    dists = metric.distance_batch(node.points().astype(np.float64), q)
+                    for i, dist in enumerate(dists):
+                        heapq.heappush(
+                            heap,
+                            (float(dist), next(counter), 0, int(node.live_oids()[i])),
+                        )
+                continue
+            for child_id, child_region in node.children_with_regions(region):
+                live = self.els.effective_rect(child_id, child_region)
+                bound = metric.mindist_rect(q, live.low, live.high)
+                heapq.heappush(
+                    heap, (bound, next(counter), 1, (child_id, child_region))
+                )
+
+    def count_range(self, query: Rect) -> int:
+        """Number of points in the closed box (same traversal/I/O as
+        :meth:`range_search`, no result materialisation)."""
+        if query.dims != self.dims:
+            raise ValueError("query dimensionality mismatch")
+        total = 0
+
+        def visit(node_id: int, region: Rect) -> None:
+            nonlocal total
+            node = self.nm.get(node_id)
+            if isinstance(node, DataNode):
+                if node.count:
+                    total += int(query.contains_points_mask(node.points()).sum())
+                return
+            walk(node.kd_root, region)
+
+        def walk(kd: KDNode, region: Rect) -> None:
+            if isinstance(kd, KDLeaf):
+                live = self.els.effective_rect(kd.child_id, region)
+                if query.intersects(live):
+                    visit(kd.child_id, region)
+                return
+            if query.low[kd.dim] <= kd.lsp:
+                walk(kd.left, region.clip_below(kd.dim, kd.lsp))
+            if query.high[kd.dim] >= kd.rsp:
+                walk(kd.right, region.clip_above(kd.dim, kd.rsp))
+
+        visit(self._root_id, self.bounds)
+        return total
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the tree to a real page file (plus sidecar catalog/ELS).
+
+        ``path`` receives the 4096-byte pages; ``path + '.meta.json'`` the
+        catalog (root id, height, bounds, parameters) and
+        ``path + '.els.npz'`` the in-memory ELS table (Section 3.4 keeps ELS
+        out of the pages).
+        """
+        from repro.storage.serialization import HybridNodeCodec
+
+        path = os.fspath(path)
+        codec = HybridNodeCodec(self.dims, self.data_capacity)
+        if os.path.exists(path):
+            os.remove(path)
+        with FilePageStore(path, self.layout.page_size) as store:
+            seen: set[int] = set()
+            stack = [self._root_id]
+            while stack:
+                node_id = stack.pop()
+                if node_id in seen:
+                    continue
+                seen.add(node_id)
+                store.ensure_allocated(node_id)  # keep page ids stable
+                node = self.nm.get(node_id, charge=False)
+                store.write(node_id, codec.encode(node))
+                if isinstance(node, IndexNode):
+                    stack.extend(node.child_ids())
+            store.flush()
+        meta = {
+            "dims": self.dims,
+            "page_size": self.layout.page_size,
+            "min_fill": self.min_fill,
+            "split_policy": self.split_policy,
+            "split_position": self.split_position,
+            "els_bits": self.els.bits,
+            "expected_query_side": self.expected_query_side,
+            "root_id": self._root_id,
+            "height": self._height,
+            "count": self._count,
+            "bounds_low": self.bounds.low.tolist(),
+            "bounds_high": self.bounds.high.tolist(),
+        }
+        with open(path + ".meta.json", "w") as f:
+            json.dump(meta, f)
+        node_ids = np.array(sorted(self.els._live), dtype=np.int64)
+        lows = np.array([self.els._live[i].low for i in node_ids]) if len(node_ids) else np.empty((0, self.dims))
+        highs = np.array([self.els._live[i].high for i in node_ids]) if len(node_ids) else np.empty((0, self.dims))
+        np.savez(path + ".els.npz", node_ids=node_ids, lows=lows, highs=highs)
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike,
+        stats: IOStats | None = None,
+        buffer_pages: int | None = None,
+    ) -> "HybridTree":
+        """Reopen a saved tree; nodes fault in lazily from the page file.
+
+        ``buffer_pages`` bounds the in-memory node cache (LRU, write-back):
+        hits are then free, misses re-read and re-decode real pages — the
+        behaviour of a disk-resident index under a fixed buffer pool.  The
+        default (``None``) caches every touched node and charges one access
+        per visit, the paper's cold-query accounting.
+        """
+        from repro.storage.serialization import HybridNodeCodec
+
+        path = os.fspath(path)
+        with open(path + ".meta.json") as f:
+            meta = json.load(f)
+        tree = cls.__new__(cls)
+        tree.dims = meta["dims"]
+        tree.layout = PageLayout(page_size=meta["page_size"])
+        tree.data_capacity = data_node_capacity(tree.dims, tree.layout)
+        tree.index_capacity = kdtree_node_capacity(tree.dims, tree.layout)
+        tree.min_fill = meta["min_fill"]
+        tree.split_policy = meta["split_policy"]
+        tree.split_position = meta["split_position"]
+        tree.expected_query_side = meta["expected_query_side"]
+        tree.bounds = Rect(meta["bounds_low"], meta["bounds_high"])
+        store = FilePageStore(path, meta["page_size"], stats=stats)
+        codec = HybridNodeCodec(tree.dims, tree.data_capacity)
+        tree.nm = NodeManager(
+            store=store, codec=codec, stats=stats, max_cached=buffer_pages
+        )
+        tree.els = ELSTable(tree.dims, meta["els_bits"])
+        data = np.load(path + ".els.npz")
+        for node_id, low, high in zip(data["node_ids"], data["lows"], data["highs"]):
+            tree.els.set(int(node_id), Rect(low, high))
+        tree._root_id = meta["root_id"]
+        tree._height = meta["height"]
+        tree._count = meta["count"]
+        return tree
+
+    # ------------------------------------------------------------------
+    # Maintenance / verification
+    # ------------------------------------------------------------------
+    def rebuild_els(self) -> None:
+        """Recompute every live-space box exactly (tightens stale entries)."""
+
+        def rebuild(node_id: int) -> Rect | None:
+            node = self.nm.get(node_id, charge=False)
+            if isinstance(node, DataNode):
+                if node.count == 0:
+                    self.els.drop(node_id)
+                    return None
+                live = node.live_rect()
+            else:
+                child_rects = [rebuild(c) for c in node.child_ids()]
+                child_rects = [r for r in child_rects if r is not None]
+                if not child_rects:
+                    self.els.drop(node_id)
+                    return None
+                live = Rect.merge_all(child_rects)
+            self.els.set(node_id, live)
+            return live
+
+        rebuild(self._root_id)
+
+    def validate(self) -> None:
+        """Assert every structural invariant; raises ``AssertionError``.
+
+        Checked: height balance, capacity and utilization bounds, kd-tree
+        well-formedness (``lsp >= rsp``, in-region positions), points inside
+        their region chain, ELS boxes between live space and region, entry
+        count bookkeeping.
+        """
+        min_entries = max(1, int(np.floor(self.min_fill * self.data_capacity)))
+        total = 0
+        leaf_depths: set[int] = set()
+
+        def check(node_id: int, region: Rect, depth: int, is_root: bool) -> None:
+            nonlocal total
+            node = self.nm.get(node_id, charge=False)
+            if isinstance(node, DataNode):
+                leaf_depths.add(depth)
+                total += node.count
+                assert node.count <= self.data_capacity
+                if not is_root:
+                    assert node.count >= min_entries, (
+                        f"data node {node_id} under-utilised: {node.count}"
+                    )
+                if node.count:
+                    points = node.points().astype(np.float64)
+                    assert np.all(points >= region.low - 1e-9) and np.all(
+                        points <= region.high + 1e-9
+                    ), f"points escape region of node {node_id}"
+                    live = self.els.get(node_id)
+                    if live is not None and self.els.enabled:
+                        box = node.live_rect()
+                        assert np.all(live.low <= box.low + 1e-9)
+                        assert np.all(live.high >= box.high - 1e-9)
+                return
+            assert 2 <= node.fanout <= self.index_capacity, (
+                f"index node {node_id} fanout {node.fanout}"
+            )
+            kdnodes.validate_kdtree(node.kd_root, region)
+            for child_id, child_region in node.children_with_regions(region):
+                child = self.nm.get(child_id, charge=False)
+                child_level = child.level if isinstance(child, IndexNode) else 0
+                assert child_level == node.level - 1, "level mismatch"
+                check(child_id, child_region, depth + 1, False)
+
+        check(self._root_id, self.bounds, 0, True)
+        assert len(leaf_depths) == 1, f"unbalanced leaf depths: {leaf_depths}"
+        assert total == self._count, f"count mismatch: {total} != {self._count}"

@@ -1,0 +1,119 @@
+"""Hybrid-tree node types: data nodes and kd-organised index nodes.
+
+Data nodes store raw ``(vector, oid)`` entries in pre-allocated numpy blocks
+so that query-time scans (range masks, batch distances) run at numpy speed.
+Index nodes hold only their intranode kd-tree; child regions are derived on
+demand (see :mod:`repro.core.kdnodes`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import kdnodes
+from repro.core.kdnodes import KDNode
+from repro.geometry.rect import Rect
+
+
+class DataNode:
+    """A leaf page: up to ``capacity`` feature vectors with object ids.
+
+    Vectors are stored as ``float32`` rows — the same precision the byte
+    budget of :func:`repro.storage.page.data_node_capacity` charges for — so
+    the in-memory representation and the serialized page hold identical
+    values and persistence round trips are exact.
+    """
+
+    __slots__ = ("vectors", "oids", "count")
+
+    LEVEL = 0
+
+    def __init__(self, dims: int, capacity: int):
+        if capacity < 2:
+            raise ValueError("data node capacity must be at least 2")
+        self.vectors = np.empty((capacity, dims), dtype=np.float32)
+        self.oids = np.empty(capacity, dtype=np.uint32)
+        self.count = 0
+
+    @property
+    def dims(self) -> int:
+        return self.vectors.shape[1]
+
+    @property
+    def capacity(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def is_full(self) -> bool:
+        return self.count >= self.capacity
+
+    def points(self) -> np.ndarray:
+        """View of the live vector rows (do not mutate)."""
+        return self.vectors[: self.count]
+
+    def live_oids(self) -> np.ndarray:
+        return self.oids[: self.count]
+
+    def add(self, vector: np.ndarray, oid: int) -> None:
+        if self.is_full:
+            raise RuntimeError("data node overflow; caller must split first")
+        self.vectors[self.count] = vector
+        self.oids[self.count] = oid
+        self.count += 1
+
+    def remove_at(self, index: int) -> None:
+        """Remove the entry at ``index`` by swapping in the last entry."""
+        if not 0 <= index < self.count:
+            raise IndexError(index)
+        last = self.count - 1
+        if index != last:
+            self.vectors[index] = self.vectors[last]
+            self.oids[index] = self.oids[last]
+        self.count = last
+
+    def find_entry(self, vector: np.ndarray, oid: int) -> int | None:
+        """Index of the entry matching ``(vector, oid)`` exactly, or None."""
+        matches = np.flatnonzero(self.live_oids() == oid)
+        target = np.asarray(vector, dtype=np.float32)
+        for idx in matches:
+            if np.array_equal(self.vectors[idx], target):
+                return int(idx)
+        return None
+
+    def live_rect(self) -> Rect:
+        """Bounding box of the stored points (the live-space BR)."""
+        if self.count == 0:
+            raise ValueError("empty data node has no live rect")
+        return Rect.from_points(self.points())
+
+    def utilization(self) -> float:
+        return self.count / self.capacity
+
+
+class IndexNode:
+    """An internal page: an intranode kd-tree over child page pointers."""
+
+    __slots__ = ("kd_root", "level")
+
+    def __init__(self, kd_root: KDNode, level: int):
+        if level < 1:
+            raise ValueError("index nodes live at level >= 1")
+        self.kd_root = kd_root
+        self.level = level
+
+    @property
+    def fanout(self) -> int:
+        return kdnodes.count_leaves(self.kd_root)
+
+    def child_ids(self) -> list[int]:
+        return kdnodes.child_ids(self.kd_root)
+
+    def children_with_regions(self, region: Rect) -> list[tuple[int, Rect]]:
+        """Children and their derived bounding regions (Section 3.1 mapping)."""
+        return [
+            (leaf.child_id, leaf_region)
+            for leaf, leaf_region in kdnodes.leaves_with_regions(self.kd_root, region)
+        ]
+
+    def utilization(self, capacity: int) -> float:
+        return self.fanout / capacity

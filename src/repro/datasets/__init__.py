@@ -1,0 +1,47 @@
+"""Dataset generators and query workloads (paper Section 4).
+
+The paper evaluates on two proprietary datasets we cannot obtain:
+
+- **FOURIER** — 1.2M 16-d vectors of Fourier coefficients of polygons
+  (provided by Stefan Berchtold).  :mod:`repro.datasets.fourier` regenerates
+  the construction itself: random polygons, FFT of the boundary signature,
+  first 8/12/16 coefficients.
+- **COLHIST** — 4x4 / 8x4 / 8x8 color histograms of ~70K Corel images.
+  :mod:`repro.datasets.colhist` synthesises sparse, cluster-structured
+  histograms (images as mixtures of a few dominant colors) and derives the
+  16- and 32-bin variants by aggregating the 64-bin histograms, exactly as
+  coarser histograms of the same images would be.
+
+:mod:`repro.datasets.workload` generates the query mixes: box range queries
+calibrated to a constant selectivity (0.07% FOURIER / 0.2% COLHIST) and
+distance range queries whose radius is set per query to hit the target
+selectivity exactly.
+"""
+
+from repro.datasets.colhist import colhist_dataset
+from repro.datasets.fourier import fourier_dataset
+from repro.datasets.synthetic import (
+    clustered_dataset,
+    normalize_unit_cube,
+    pad_with_nondiscriminating_dims,
+    uniform_dataset,
+)
+from repro.datasets.workload import (
+    QueryWorkload,
+    calibrate_box_side,
+    distance_workload,
+    range_workload,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "calibrate_box_side",
+    "clustered_dataset",
+    "colhist_dataset",
+    "distance_workload",
+    "fourier_dataset",
+    "normalize_unit_cube",
+    "pad_with_nondiscriminating_dims",
+    "range_workload",
+    "uniform_dataset",
+]

@@ -1,0 +1,64 @@
+"""Synthetic datasets for unit tests and ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_dataset(count: int, dims: int, seed: int = 0) -> np.ndarray:
+    """IID uniform points in [0, 1]^dims — the index-hostile worst case."""
+    rng = np.random.default_rng(seed)
+    return rng.random((count, dims)).astype(np.float32)
+
+
+def clustered_dataset(
+    count: int,
+    dims: int,
+    clusters: int = 10,
+    spread: float = 0.05,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gaussian clusters with centres uniform in [0, 1]^dims, clipped to the
+    unit cube.  ``spread`` is the per-dimension standard deviation."""
+    if clusters < 1:
+        raise ValueError("clusters must be >= 1")
+    rng = np.random.default_rng(seed)
+    centers = rng.random((clusters, dims))
+    assignment = rng.integers(0, clusters, size=count)
+    points = centers[assignment] + rng.normal(0.0, spread, size=(count, dims))
+    return np.clip(points, 0.0, 1.0).astype(np.float32)
+
+
+def normalize_unit_cube(data: np.ndarray) -> np.ndarray:
+    """Min-max normalize user data to [0, 1] per dimension.
+
+    The paper assumes a normalized feature space; apply this to external
+    feature vectors before indexing (constant dimensions map to 0).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError("normalize_unit_cube requires a non-empty (n, k) array")
+    lo = data.min(axis=0)
+    hi = data.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    return ((data - lo) / span).astype(np.float32)
+
+
+def pad_with_nondiscriminating_dims(
+    data: np.ndarray, extra_dims: int, jitter: float = 1e-3, seed: int = 0
+) -> np.ndarray:
+    """Append dimensions on which all vectors are (nearly) identical.
+
+    Used by the Lemma 1 benchmark: the hybrid tree should never pick these
+    dimensions for splitting (implicit dimensionality reduction), so query
+    cost should barely change as they are added.
+    """
+    if extra_dims < 0:
+        raise ValueError("extra_dims must be >= 0")
+    data = np.asarray(data, dtype=np.float32)
+    if extra_dims == 0:
+        return data
+    rng = np.random.default_rng(seed)
+    constant = rng.random(extra_dims).astype(np.float32)
+    pad = constant[None, :] + rng.normal(0.0, jitter, size=(len(data), extra_dims))
+    return np.hstack([data, np.clip(pad, 0.0, 1.0).astype(np.float32)])

@@ -1,0 +1,32 @@
+"""Distance functions with box/sphere lower bounds.
+
+The hybrid tree's selling point over distance-based structures (SS-tree,
+M-tree) is that, being feature-based, it answers queries under *any* distance
+function supplied at query time — including a different function per query, as
+relevance-feedback loops require (paper Sections 1, 3.5).  A metric here is an
+object that can (a) measure point-to-point distances and (b) lower-bound the
+distance from a query point to an axis-aligned box, which is all a
+feature-based index needs to prune.
+"""
+
+from repro.distances.metrics import (
+    L1,
+    L2,
+    LINF,
+    LpMetric,
+    Metric,
+    QuadraticFormMetric,
+    UserMetric,
+    WeightedEuclidean,
+)
+
+__all__ = [
+    "L1",
+    "L2",
+    "LINF",
+    "LpMetric",
+    "Metric",
+    "QuadraticFormMetric",
+    "UserMetric",
+    "WeightedEuclidean",
+]

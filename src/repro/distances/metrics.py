@@ -1,0 +1,193 @@
+"""Metric implementations: Lp family, weighted/quadratic forms, user hooks.
+
+Each metric provides three operations:
+
+``distance(a, b)``
+    Point-to-point distance.
+``distance_batch(points, q)``
+    Vectorized distances from every row of ``points`` to ``q`` — the inner
+    loop of data-node scans, so it must be numpy-level fast.
+``mindist_rect(q, low, high)``
+    A lower bound on ``distance(q, x)`` over all ``x`` in the box.  For every
+    metric here the bound is *tight* (attained by the box point closest to
+    ``q``), which keeps branch-and-bound search exact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Metric(Protocol):
+    """What an index needs from a distance function in order to prune."""
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        ...
+
+    def distance_batch(self, points: np.ndarray, q: np.ndarray) -> np.ndarray:
+        ...
+
+    def mindist_rect(self, q: np.ndarray, low: np.ndarray, high: np.ndarray) -> float:
+        ...
+
+
+class LpMetric:
+    """The Minkowski ``L_p`` family, ``p >= 1`` or ``p = inf``.
+
+    ``mindist_rect`` clamps the query into the box and measures the distance
+    to the clamped point — exact for every ``L_p`` because the box is convex
+    and the metric is coordinatewise monotone.
+    """
+
+    def __init__(self, p: float):
+        if not (p >= 1):
+            raise ValueError(f"Lp requires p >= 1, got {p}")
+        self.p = float(p)
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        diff = np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
+        if np.isinf(self.p):
+            return float(diff.max())
+        if self.p == 1.0:
+            return float(diff.sum())
+        if self.p == 2.0:
+            return float(np.sqrt((diff * diff).sum()))
+        return float((diff**self.p).sum() ** (1.0 / self.p))
+
+    def distance_batch(self, points: np.ndarray, q: np.ndarray) -> np.ndarray:
+        diff = np.abs(points - q)
+        if np.isinf(self.p):
+            return diff.max(axis=1)
+        if self.p == 1.0:
+            return diff.sum(axis=1)
+        if self.p == 2.0:
+            return np.sqrt((diff * diff).sum(axis=1))
+        return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+
+    def mindist_rect(self, q: np.ndarray, low: np.ndarray, high: np.ndarray) -> float:
+        clamped = np.clip(q, low, high)
+        return self.distance(q, clamped)
+
+    def __repr__(self) -> str:
+        return f"LpMetric(p={self.p})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LpMetric) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("LpMetric", self.p))
+
+
+L1 = LpMetric(1.0)
+"""Manhattan distance — the metric of the paper's Figure 7(c,d), following
+the MARS similarity work [Ortega et al. 1997]."""
+
+L2 = LpMetric(2.0)
+"""Euclidean distance."""
+
+LINF = LpMetric(float("inf"))
+"""Chebyshev distance; a cube range query is an L-inf ball query."""
+
+
+class WeightedEuclidean:
+    """``sqrt(sum_i w_i (a_i - b_i)^2)`` with non-negative weights.
+
+    Re-weighting dimensions per query is the basic relevance-feedback move
+    (MARS/MindReader); the hybrid tree supports it because pruning only needs
+    the box lower bound below.
+    """
+
+    def __init__(self, weights: np.ndarray):
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.weights.ndim != 1 or np.any(self.weights < 0):
+            raise ValueError("weights must be a 1-d non-negative array")
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+        return float(np.sqrt((self.weights * diff * diff).sum()))
+
+    def distance_batch(self, points: np.ndarray, q: np.ndarray) -> np.ndarray:
+        diff = points - q
+        return np.sqrt((self.weights * diff * diff).sum(axis=1))
+
+    def mindist_rect(self, q: np.ndarray, low: np.ndarray, high: np.ndarray) -> float:
+        clamped = np.clip(q, low, high)
+        return self.distance(q, clamped)
+
+    def __repr__(self) -> str:
+        return f"WeightedEuclidean(weights={self.weights.tolist()})"
+
+
+class QuadraticFormMetric:
+    """``sqrt((a-b)^T A (a-b))`` for a symmetric positive-definite ``A``.
+
+    Quadratic-form distances arise from relevance feedback with correlated
+    dimensions (MindReader [Ishikawa et al. 1998]).  The box lower bound uses
+    the smallest eigenvalue: ``d_A(q, x) >= sqrt(lambda_min) * d_2(q, x)``,
+    a valid (not tight) bound, so search stays exact but prunes less.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        self.matrix = np.asarray(matrix, dtype=np.float64)
+        if self.matrix.ndim != 2 or self.matrix.shape[0] != self.matrix.shape[1]:
+            raise ValueError("matrix must be square")
+        if not np.allclose(self.matrix, self.matrix.T, atol=1e-10):
+            raise ValueError("matrix must be symmetric")
+        eigvals = np.linalg.eigvalsh(self.matrix)
+        if eigvals[0] <= 0:
+            raise ValueError("matrix must be positive definite")
+        self._sqrt_lambda_min = float(np.sqrt(eigvals[0]))
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+        return float(np.sqrt(diff @ self.matrix @ diff))
+
+    def distance_batch(self, points: np.ndarray, q: np.ndarray) -> np.ndarray:
+        diff = points - q
+        return np.sqrt(np.einsum("ij,jk,ik->i", diff, self.matrix, diff))
+
+    def mindist_rect(self, q: np.ndarray, low: np.ndarray, high: np.ndarray) -> float:
+        clamped = np.clip(q, low, high)
+        l2 = float(np.linalg.norm(np.asarray(q, dtype=np.float64) - clamped))
+        return self._sqrt_lambda_min * l2
+
+    def __repr__(self) -> str:
+        return f"QuadraticFormMetric(dims={self.matrix.shape[0]})"
+
+
+class UserMetric:
+    """Wrap an arbitrary user distance function for query-time use.
+
+    ``mindist_rect`` defaults to the clamped-point evaluation, which is a
+    correct lower bound whenever the function is coordinatewise monotone in
+    ``|a_i - b_i|`` (true for every similarity measure used in MARS).  For
+    functions without that property, supply an explicit ``rect_lower_bound``;
+    passing a constant-zero bound degrades pruning but never correctness.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray, np.ndarray], float],
+        rect_lower_bound: Callable[[np.ndarray, np.ndarray, np.ndarray], float] | None = None,
+    ):
+        self.fn = fn
+        self._rect_lower_bound = rect_lower_bound
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        return float(self.fn(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)))
+
+    def distance_batch(self, points: np.ndarray, q: np.ndarray) -> np.ndarray:
+        return np.array([self.distance(row, q) for row in points])
+
+    def mindist_rect(self, q: np.ndarray, low: np.ndarray, high: np.ndarray) -> float:
+        if self._rect_lower_bound is not None:
+            return float(self._rect_lower_bound(q, low, high))
+        clamped = np.clip(q, low, high)
+        return self.distance(q, clamped)
+
+    def __repr__(self) -> str:
+        return f"UserMetric({getattr(self.fn, '__name__', 'fn')})"

@@ -1,0 +1,29 @@
+"""Evaluation harness reproducing the paper's Section 4 methodology.
+
+- :mod:`repro.eval.costs` — normalized I/O and CPU costs (linear scan = 0.1
+  and 1.0 respectively).
+- :mod:`repro.eval.harness` — index factory + per-workload measurement loop.
+- :mod:`repro.eval.figures` — one driver per figure of the paper; each
+  returns the rows (dicts) the corresponding plot was drawn from.
+- :mod:`repro.eval.tables` — Table 1 / Table 2 drivers.
+- :mod:`repro.eval.report` — plain-text table rendering for the benchmarks.
+"""
+
+from repro.eval.costs import normalized_cpu_cost, normalized_io_cost
+from repro.eval.harness import (
+    INDEX_KINDS,
+    ExperimentResult,
+    build_index,
+    run_workload,
+)
+from repro.eval.report import render_table
+
+__all__ = [
+    "ExperimentResult",
+    "INDEX_KINDS",
+    "build_index",
+    "normalized_cpu_cost",
+    "normalized_io_cost",
+    "render_table",
+    "run_workload",
+]

@@ -1,0 +1,31 @@
+"""Normalized cost definitions (paper Section 4).
+
+Normalized I/O cost
+    (average disk accesses per query) / (pages a linear scan reads).
+    Sequential accesses are charged at one tenth of a random access, so the
+    linear scan itself scores exactly 0.1; an index above 0.1 loses to the
+    scan.
+
+Normalized CPU cost
+    (average CPU seconds per query) / (CPU seconds of a linear scan query).
+    The scan scores 1.0 by construction.  Normalizing removes the hardware
+    constant, which is what lets a 2026 reproduction compare CPU *shapes*
+    against 1999 numbers.
+"""
+
+from __future__ import annotations
+
+from repro.storage.iostats import IOStats
+
+
+def normalized_io_cost(query_io: IOStats, scan_pages: int) -> float:
+    """Weighted accesses of one (or an average) query over scan pages."""
+    if scan_pages <= 0:
+        raise ValueError("scan_pages must be positive")
+    return query_io.weighted_cost() / scan_pages
+
+
+def normalized_cpu_cost(query_cpu_seconds: float, scan_cpu_seconds: float) -> float:
+    if scan_cpu_seconds <= 0:
+        raise ValueError("scan_cpu_seconds must be positive")
+    return query_cpu_seconds / scan_cpu_seconds

@@ -1,0 +1,25 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+
+def render_table(rows: list[dict], title: str = "") -> str:
+    """Render dict rows as an aligned text table (insertion-ordered keys)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        col: max(len(col), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule] if title else [header, rule]
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    lines.append(rule)
+    return "\n".join(lines)

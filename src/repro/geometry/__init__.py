@@ -1,0 +1,24 @@
+"""Geometry substrate: rectangles, spheres, Minkowski sums, the EDA model.
+
+Everything in the hybrid tree's split analysis (paper Sections 3.2-3.3) is
+expressed over axis-aligned bounding rectangles and their Minkowski sums with
+the query cube; the DP baselines additionally use bounding spheres.
+"""
+
+from repro.geometry.eda import (
+    data_split_eda_increase,
+    index_split_eda_increase,
+    index_split_eda_increase_integrated,
+)
+from repro.geometry.minkowski import minkowski_overlap_probability
+from repro.geometry.rect import Rect
+from repro.geometry.sphere import Sphere
+
+__all__ = [
+    "Rect",
+    "Sphere",
+    "data_split_eda_increase",
+    "index_split_eda_increase",
+    "index_split_eda_increase_integrated",
+    "minkowski_overlap_probability",
+]

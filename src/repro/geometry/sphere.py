@@ -1,0 +1,82 @@
+"""Bounding spheres for the SS-tree and SR-tree baselines.
+
+The SS-tree bounds each subtree by a sphere around the centroid of the points
+beneath it; the SR-tree keeps both that sphere and the bounding rectangle and
+prunes with the *intersection* of the two regions (Katayama & Satoh 1997).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+
+class Sphere:
+    """A closed ball ``{x : ||x - center||_2 <= radius}``."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: np.ndarray, radius: float):
+        self.center = np.asarray(center, dtype=np.float64)
+        if self.center.ndim != 1:
+            raise ValueError("center must be a 1-d array")
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        self.radius = float(radius)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "Sphere":
+        """Centroid sphere: centre = mean, radius = max distance to a point.
+
+        This is the SS-tree construction (not the minimal enclosing ball,
+        which the original papers also avoid for cost reasons).
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("from_points requires a non-empty (n, k) array")
+        center = points.mean(axis=0)
+        radius = float(np.sqrt(((points - center) ** 2).sum(axis=1).max()))
+        return cls(center, radius)
+
+    @classmethod
+    def merge_all(cls, spheres: list["Sphere"], weights: list[float] | None = None) -> "Sphere":
+        """Bounding sphere of child spheres: weighted centroid of centres,
+        radius covering every child ball (SS-tree parent-entry update)."""
+        if not spheres:
+            raise ValueError("merge_all requires at least one sphere")
+        if weights is None:
+            weights = [1.0] * len(spheres)
+        total = float(sum(weights))
+        center = sum(w * s.center for w, s in zip(weights, spheres)) / total
+        radius = max(
+            float(np.linalg.norm(s.center - center)) + s.radius for s in spheres
+        )
+        return cls(center, radius)
+
+    @property
+    def dims(self) -> int:
+        return self.center.shape[0]
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.linalg.norm(point - self.center) <= self.radius + 1e-12)
+
+    def mindist_point(self, point: np.ndarray) -> float:
+        """Euclidean distance from ``point`` to the ball (0 if inside)."""
+        point = np.asarray(point, dtype=np.float64)
+        return max(0.0, float(np.linalg.norm(point - self.center)) - self.radius)
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Ball/box overlap: the box's closest point is within the radius."""
+        closest = np.clip(self.center, rect.low, rect.high)
+        return bool(
+            float(np.linalg.norm(closest - self.center)) <= self.radius + 1e-12
+        )
+
+    def intersects_sphere(self, other: "Sphere") -> bool:
+        gap = float(np.linalg.norm(self.center - other.center))
+        return gap <= self.radius + other.radius + 1e-12
+
+    def __repr__(self) -> str:
+        return f"Sphere(center={self.center.tolist()}, radius={self.radius})"

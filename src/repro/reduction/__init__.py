@@ -1,0 +1,22 @@
+"""Dimensionality reduction (the paper's Section 1 alternative).
+
+The hybrid-tree paper opens by weighing the competing approach to feature
+indexing: reduce dimensionality first, then index the reduced space.  It
+grants the approach merit but names three limitations — DR "works well only
+when the data is strongly correlated", "usually do[es] not support
+similarity queries based on arbitrary distance functions", and is "not
+suitable for dynamic database environments".
+
+This subpackage makes those claims testable: :class:`~repro.reduction.pca.PCA`
+is a numpy principal-component transform, and
+:class:`~repro.reduction.reduced_index.ReducedIndex` is the GEMINI-style
+pipeline (index the first ``m`` components; answer Euclidean queries exactly
+through the lower-bounding property + verification).  The extension
+benchmark compares it against the plain hybrid tree on correlated and
+uncorrelated data.
+"""
+
+from repro.reduction.pca import PCA
+from repro.reduction.reduced_index import ReducedIndex
+
+__all__ = ["PCA", "ReducedIndex"]

@@ -1,0 +1,63 @@
+"""Principal component analysis via numpy SVD.
+
+The transform is orthonormal, so Euclidean distances are preserved exactly
+in the full rotated space and *lower-bounded* by any prefix of components:
+
+    d2(T(x)[:m], T(y)[:m]) <= d2(T(x), T(y)) = d2(x, y)
+
+— the contractive (GEMINI) property that makes exact query processing on a
+reduced index possible.  ``energy(m)`` reports the variance fraction the
+first ``m`` components capture, which is the paper's "strongly correlated
+data" criterion made quantitative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """Orthonormal PCA fitted on a data sample."""
+
+    def __init__(self, data: np.ndarray):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ValueError("PCA requires an (n >= 2, k) array")
+        self.mean = data.mean(axis=0)
+        centered = data - self.mean
+        # SVD of the data matrix: rows of Vt are the principal directions.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components = vt  # (k, k) orthonormal rows
+        self.explained_variance = (singular_values**2) / max(data.shape[0] - 1, 1)
+
+    @property
+    def dims(self) -> int:
+        return self.components.shape[1]
+
+    def energy(self, m: int) -> float:
+        """Fraction of total variance captured by the first ``m`` components."""
+        if not 1 <= m <= self.dims:
+            raise ValueError(f"m must be in [1, {self.dims}]")
+        total = float(self.explained_variance.sum())
+        if total == 0.0:
+            return 1.0
+        return float(self.explained_variance[:m].sum()) / total
+
+    def dims_for_energy(self, target: float) -> int:
+        """Smallest ``m`` whose energy reaches ``target`` (0 < target <= 1)."""
+        if not 0.0 < target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+        total = float(self.explained_variance.sum())
+        if total == 0.0:
+            return 1
+        cumulative = np.cumsum(self.explained_variance) / total
+        return int(np.searchsorted(cumulative, target - 1e-12) + 1)
+
+    def transform(self, rows: np.ndarray, m: int | None = None) -> np.ndarray:
+        """Project ``rows`` onto the first ``m`` components."""
+        rows = np.asarray(rows, dtype=np.float64)
+        projected = (rows - self.mean) @ self.components.T
+        return projected if m is None else projected[:, :m]
+
+    def transform_one(self, row: np.ndarray, m: int | None = None) -> np.ndarray:
+        return self.transform(np.asarray(row)[None, :], m)[0]

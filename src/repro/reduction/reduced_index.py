@@ -1,0 +1,174 @@
+"""GEMINI-style reduced-dimension indexing over a hybrid tree.
+
+Pipeline: fit PCA, index the first ``m`` principal components in a hybrid
+tree, keep the full vectors in a heap file.  Euclidean queries run on the
+reduced index (the projection is contractive, so no true result is missed)
+and survivors are verified against the heap — exact answers, fewer indexed
+dimensions.
+
+The class deliberately exposes the three limitations the paper's
+introduction charges dimensionality reduction with:
+
+1. *Correlation dependence*: ``m`` for a given energy target is small only
+   when the data is strongly correlated; on sparse histogram data it stays
+   near the original dimensionality (see ``PCA.dims_for_energy``).
+2. *Fixed distance function*: only Euclidean queries are accepted — the
+   contractive bound does not hold for an arbitrary query-time metric.
+3. *Static bias*: inserts are supported but project onto the frozen basis;
+   as the distribution drifts the captured energy decays (``refit`` rebuilds
+   from scratch, which is exactly the maintenance cost the paper means by
+   "not suitable for dynamic database environments").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HybridTree
+from repro.distances import L2, LpMetric, Metric
+from repro.geometry.rect import Rect
+from repro.reduction.pca import PCA
+from repro.storage.iostats import AccessKind, IOStats
+from repro.storage.page import PageLayout, data_node_capacity
+
+
+class ReducedIndex:
+    """Exact Euclidean search through a PCA-reduced hybrid tree."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        *,
+        reduced_dims: int | None = None,
+        energy_target: float = 0.95,
+        page_size: int = 4096,
+        stats: IOStats | None = None,
+        **tree_params,
+    ):
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ValueError("ReducedIndex requires an (n >= 2, k) array")
+        self.full_dims = data.shape[1]
+        self.layout = PageLayout(page_size=page_size)
+        self.heap_tuples_per_page = data_node_capacity(self.full_dims, self.layout)
+        self.pca = PCA(data)
+        self.reduced_dims = (
+            reduced_dims
+            if reduced_dims is not None
+            else self.pca.dims_for_energy(energy_target)
+        )
+        if not 1 <= self.reduced_dims <= self.full_dims:
+            raise ValueError("reduced_dims out of range")
+        self._vectors = data.copy()
+        reduced = self.pca.transform(data, self.reduced_dims)
+        lo, hi = reduced.min(axis=0), reduced.max(axis=0)
+        bounds = Rect(lo - 1e-6, hi + 1e-6)
+        self.tree = HybridTree(
+            self.reduced_dims,
+            bounds=bounds,
+            page_size=page_size,
+            stats=stats,
+            **tree_params,
+        )
+        from repro.core.bulkload import bulk_load_into
+
+        bulk_load_into(self.tree, reduced.astype(np.float32))
+
+    # ------------------------------------------------------------------
+    @property
+    def io(self) -> IOStats:
+        return self.tree.io
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def pages(self) -> int:
+        """Reduced-tree pages + full-vector heap pages."""
+        heap = -(-len(self._vectors) // self.heap_tuples_per_page)
+        return self.tree.pages() + heap
+
+    def energy(self) -> float:
+        """Variance captured by the indexed components at fit time."""
+        return self.pca.energy(self.reduced_dims)
+
+    # ------------------------------------------------------------------
+    def insert(self, vector: np.ndarray, oid: int | None = None) -> int:
+        """Insert a vector by projecting onto the *frozen* basis.
+
+        Returns the assigned oid (its heap position).  Quality degrades as
+        the distribution drifts away from the fitted basis; call
+        :meth:`refit` to rebuild.
+        """
+        vector = np.asarray(vector, dtype=np.float32)
+        if vector.shape != (self.full_dims,):
+            raise ValueError(f"expected a {self.full_dims}-d vector")
+        assigned = len(self._vectors)
+        if oid is not None and oid != assigned:
+            raise ValueError("ReducedIndex assigns oids by heap position")
+        self._vectors = np.vstack([self._vectors, vector[None, :]])
+        reduced = self.pca.transform_one(vector.astype(np.float64), self.reduced_dims)
+        self.tree.insert(reduced.astype(np.float32), assigned)
+        return assigned
+
+    def refit(self, **kwargs) -> "ReducedIndex":
+        """Rebuild basis and index from the current contents (full rebuild —
+        the dynamic-environment cost the paper points at)."""
+        return ReducedIndex(self._vectors, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _check_metric(self, metric: Metric) -> None:
+        if not (isinstance(metric, LpMetric) and metric.p == 2.0):
+            raise ValueError(
+                "the PCA lower bound only holds for Euclidean distance; "
+                f"queries under {metric!r} are unsupported (paper Section 1, "
+                "limitation 2 of dimensionality reduction)"
+            )
+
+    def range_search(self, query) -> list[int]:
+        raise TypeError(
+            "box queries in the original space do not map to boxes in the "
+            "rotated reduced space; dimensionality reduction does not "
+            "support them (use the hybrid tree directly)"
+        )
+
+    def _verify(self, candidates: list[int], q: np.ndarray) -> np.ndarray:
+        """Fetch candidates' full vectors: one random read per heap page."""
+        if not candidates:
+            return np.empty(0)
+        pages = {c // self.heap_tuples_per_page for c in candidates}
+        self.io.record(AccessKind.RANDOM_READ, len(pages))
+        rows = self._vectors[np.asarray(candidates)].astype(np.float64)
+        return L2.distance_batch(rows, q)
+
+    def distance_range(
+        self, query: np.ndarray, radius: float, metric: Metric = L2
+    ) -> list[tuple[int, float]]:
+        self._check_metric(metric)
+        q = np.asarray(query, dtype=np.float64)
+        q_reduced = self.pca.transform_one(q, self.reduced_dims)
+        # Contractive bound: every true result survives the reduced filter.
+        candidates = [oid for oid, _ in self.tree.distance_range(q_reduced, radius)]
+        dists = self._verify(candidates, q)
+        return [
+            (oid, float(d)) for oid, d in zip(candidates, dists) if d <= radius
+        ]
+
+    def knn(
+        self, query: np.ndarray, k: int, metric: Metric = L2
+    ) -> list[tuple[int, float]]:
+        """Exact k-NN: reduced k-NN for an upper bound, then a reduced range
+        query at that bound, then verification (the GEMINI recipe)."""
+        self._check_metric(metric)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if len(self.tree) == 0:
+            return []
+        q = np.asarray(query, dtype=np.float64)
+        q_reduced = self.pca.transform_one(q, self.reduced_dims)
+        seeds = [oid for oid, _ in self.tree.knn(q_reduced, k)]
+        seed_dists = self._verify(seeds, q)
+        bound = float(seed_dists.max())
+        candidates = [oid for oid, _ in self.tree.distance_range(q_reduced, bound)]
+        dists = self._verify(candidates, q)
+        ranked = sorted(zip(dists, candidates))[:k]
+        return [(oid, float(d)) for d, oid in ranked]

@@ -1,0 +1,51 @@
+"""Paged storage substrate.
+
+The hybrid-tree paper reports *disk accesses per query* on 4096-byte pages as
+its primary performance metric.  This subpackage provides the simulated disk
+that makes those numbers meaningful in a pure-Python reproduction:
+
+- :mod:`repro.storage.page` -- page-size constants and byte-budget helpers.
+- :mod:`repro.storage.iostats` -- the I/O accountant distinguishing random
+  from sequential page accesses (the paper charges sequential accesses at one
+  tenth of a random access).
+- :mod:`repro.storage.pagestore` -- page allocators: an in-memory store used
+  by the benchmarks and a real file-backed store used to test persistence.
+- :mod:`repro.storage.buffer` -- an LRU buffer pool.
+- :mod:`repro.storage.nodemanager` -- the node cache every index runs through;
+  it charges one page access per node visit and, when file-backed, round-trips
+  nodes through ``struct``-packed pages.
+- :mod:`repro.storage.serialization` -- byte-level node codecs.
+"""
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.iostats import AccessKind, IOStats
+from repro.storage.nodemanager import NodeManager
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    PAGE_HEADER_SIZE,
+    PageLayout,
+    data_node_capacity,
+    kdtree_node_capacity,
+    rtree_node_capacity,
+    srtree_node_capacity,
+    sstree_node_capacity,
+)
+from repro.storage.pagestore import FilePageStore, InMemoryPageStore, PageStore
+
+__all__ = [
+    "AccessKind",
+    "DEFAULT_PAGE_SIZE",
+    "FilePageStore",
+    "InMemoryPageStore",
+    "IOStats",
+    "LRUBufferPool",
+    "NodeManager",
+    "PAGE_HEADER_SIZE",
+    "PageLayout",
+    "PageStore",
+    "data_node_capacity",
+    "kdtree_node_capacity",
+    "rtree_node_capacity",
+    "srtree_node_capacity",
+    "sstree_node_capacity",
+]

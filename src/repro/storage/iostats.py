@@ -1,0 +1,103 @@
+"""I/O accounting: the simulated disk's access counters.
+
+The paper measures "average number of disk accesses required to execute a
+query" and normalizes it against a linear scan, charging sequential accesses
+at one tenth the cost of random accesses ("sequential disk accesses are about
+10 times faster compared to random accesses", Section 4).  ``IOStats`` is the
+single place those conventions live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AccessKind(Enum):
+    """How a page was touched, for cost-weighting purposes."""
+
+    RANDOM_READ = "random_read"
+    RANDOM_WRITE = "random_write"
+    SEQUENTIAL_READ = "sequential_read"
+    SEQUENTIAL_WRITE = "sequential_write"
+
+
+SEQUENTIAL_SPEEDUP = 10.0
+"""Random access cost / sequential access cost (Section 4 of the paper)."""
+
+
+@dataclass
+class IOStats:
+    """Counters for page accesses, split by kind.
+
+    Every index structure routes node visits through a shared ``IOStats`` via
+    its :class:`~repro.storage.nodemanager.NodeManager`; the evaluation
+    harness snapshots these counters around each query.
+    """
+
+    random_reads: int = 0
+    random_writes: int = 0
+    sequential_reads: int = 0
+    sequential_writes: int = 0
+    _checkpoints: list[tuple[int, int, int, int]] = field(default_factory=list, repr=False)
+
+    def record(self, kind: AccessKind, pages: int = 1) -> None:
+        """Record ``pages`` accesses of the given ``kind``."""
+        if pages < 0:
+            raise ValueError("pages must be non-negative")
+        if kind is AccessKind.RANDOM_READ:
+            self.random_reads += pages
+        elif kind is AccessKind.RANDOM_WRITE:
+            self.random_writes += pages
+        elif kind is AccessKind.SEQUENTIAL_READ:
+            self.sequential_reads += pages
+        else:
+            self.sequential_writes += pages
+
+    @property
+    def total_accesses(self) -> int:
+        """Raw page accesses regardless of kind."""
+        return (
+            self.random_reads
+            + self.random_writes
+            + self.sequential_reads
+            + self.sequential_writes
+        )
+
+    @property
+    def random_accesses(self) -> int:
+        return self.random_reads + self.random_writes
+
+    @property
+    def sequential_accesses(self) -> int:
+        return self.sequential_reads + self.sequential_writes
+
+    def weighted_cost(self) -> float:
+        """Accesses in random-access units (sequential charged at 1/10)."""
+        return self.random_accesses + self.sequential_accesses / SEQUENTIAL_SPEEDUP
+
+    def reset(self) -> None:
+        """Zero all counters and drop checkpoints."""
+        self.random_reads = 0
+        self.random_writes = 0
+        self.sequential_reads = 0
+        self.sequential_writes = 0
+        self._checkpoints.clear()
+
+    def checkpoint(self) -> None:
+        """Push the current counter values; pair with :meth:`since_checkpoint`."""
+        self._checkpoints.append(
+            (self.random_reads, self.random_writes, self.sequential_reads, self.sequential_writes)
+        )
+
+    def since_checkpoint(self) -> "IOStats":
+        """Pop the latest checkpoint and return the delta as a new ``IOStats``."""
+        if not self._checkpoints:
+            raise RuntimeError("since_checkpoint() called without a matching checkpoint()")
+        rr, rw, sr, sw = self._checkpoints.pop()
+        return IOStats(
+            random_reads=self.random_reads - rr,
+            random_writes=self.random_writes - rw,
+            sequential_reads=self.sequential_reads - sr,
+            sequential_writes=self.sequential_writes - sw,
+        )

@@ -1,0 +1,140 @@
+"""Page-size constants and byte-budget capacity calculations.
+
+The paper's central structural claim (Table 1) is that the fanout of a
+kd-tree-organised node is *independent of dimensionality* while the fanout of
+bounding-region nodes shrinks linearly with the number of dimensions.  Both
+follow directly from the byte cost of one child entry under a fixed page
+budget, so we make those byte costs explicit here and derive every node
+capacity from them.  All index structures in this repository size their nodes
+through this module; nothing hard-codes a fanout.
+
+Byte layout conventions (little-endian, matching
+:mod:`repro.storage.serialization`):
+
+- feature coordinates are ``float32`` (4 bytes), as is standard for feature
+  vectors;
+- object identifiers and page identifiers are ``uint32`` (4 bytes);
+- a kd-tree internal node stores the split dimension (``uint16``), the two
+  split positions lsp and rsp (``float32`` each), and two intra-node child
+  offsets (``uint16`` each): 14 bytes total;
+- a kd-tree leaf stores the child page id: 4 bytes.  Encoded-live-space codes
+  are *not* charged against the page (Section 3.4 of the paper keeps them in
+  memory; their footprint is reported separately by ``ELSTable.memory_bytes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_PAGE_SIZE = 4096
+"""Page size in bytes used throughout the paper's evaluation (Section 4)."""
+
+PAGE_HEADER_SIZE = 32
+"""Per-page header: node kind, level, entry count, free-space pointer, LSN."""
+
+FLOAT_SIZE = 4
+OID_SIZE = 4
+PAGE_ID_SIZE = 4
+
+KD_INTERNAL_SIZE = 2 + FLOAT_SIZE + FLOAT_SIZE + 2 + 2
+"""Split dim (u16) + lsp (f32) + rsp (f32) + two intranode offsets (u16)."""
+
+KD_LEAF_SIZE = PAGE_ID_SIZE
+"""A kd-tree leaf is just the child page pointer."""
+
+
+@dataclass(frozen=True)
+class PageLayout:
+    """Byte budget of a page: total size and the space usable for entries."""
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    header_size: int = PAGE_HEADER_SIZE
+
+    def __post_init__(self) -> None:
+        if self.page_size <= self.header_size:
+            raise ValueError(
+                f"page_size ({self.page_size}) must exceed header_size ({self.header_size})"
+            )
+
+    @property
+    def usable(self) -> int:
+        """Bytes available to entries after the header."""
+        return self.page_size - self.header_size
+
+
+def data_node_capacity(dims: int, layout: PageLayout | None = None) -> int:
+    """Maximum number of (vector, oid) entries a data page can hold.
+
+    One entry costs ``dims * 4 + 4`` bytes.  Identical for every index
+    structure: data pages always store raw feature vectors.
+    """
+    layout = layout or PageLayout()
+    entry = dims * FLOAT_SIZE + OID_SIZE
+    capacity = layout.usable // entry
+    if capacity < 2:
+        raise ValueError(
+            f"page of {layout.page_size} bytes cannot hold 2 entries of {dims} dims"
+        )
+    return capacity
+
+
+def kdtree_node_capacity(dims: int, layout: PageLayout | None = None) -> int:
+    """Maximum number of children of a kd-tree-organised index node.
+
+    A node with ``c`` children stores ``c - 1`` kd internal nodes and ``c``
+    kd leaves, so the budget constraint is
+    ``(c - 1) * KD_INTERNAL_SIZE + c * KD_LEAF_SIZE <= usable``.
+
+    The result does not depend on ``dims`` — the paper's headline property.
+    ``dims`` is accepted (and ignored) so that all capacity functions share a
+    signature.
+    """
+    del dims  # fanout is dimension-independent by construction
+    layout = layout or PageLayout()
+    capacity = (layout.usable + KD_INTERNAL_SIZE) // (KD_INTERNAL_SIZE + KD_LEAF_SIZE)
+    return max(capacity, 2)
+
+
+def rtree_node_capacity(dims: int, layout: PageLayout | None = None) -> int:
+    """Maximum children of an R-tree node: entry = bounding box + pointer.
+
+    One entry costs ``2 * dims * 4 + 4`` bytes (low and high corner per
+    dimension), so fanout decreases linearly with dimensionality.
+    """
+    layout = layout or PageLayout()
+    entry = 2 * dims * FLOAT_SIZE + PAGE_ID_SIZE
+    return max(layout.usable // entry, 2)
+
+
+def sstree_node_capacity(dims: int, layout: PageLayout | None = None) -> int:
+    """Maximum children of an SS-tree node: entry = centroid + radius + ptr.
+
+    One entry costs ``dims * 4 + 4 + 4`` bytes.
+    """
+    layout = layout or PageLayout()
+    entry = dims * FLOAT_SIZE + FLOAT_SIZE + PAGE_ID_SIZE
+    return max(layout.usable // entry, 2)
+
+
+def srtree_node_capacity(dims: int, layout: PageLayout | None = None) -> int:
+    """Maximum children of an SR-tree node: entry = sphere + rect + ptr.
+
+    Katayama & Satoh store both a bounding sphere (centroid + radius) and a
+    bounding rectangle per entry: ``dims*4 + 4 + 2*dims*4 + 4`` bytes.  This
+    is why the SR-tree has the lowest fanout of all structures at high
+    dimensionality (e.g. 5 children at 64-d on 4K pages).
+    """
+    layout = layout or PageLayout()
+    entry = dims * FLOAT_SIZE + FLOAT_SIZE + 2 * dims * FLOAT_SIZE + PAGE_ID_SIZE
+    return max(layout.usable // entry, 2)
+
+
+def sequential_scan_pages(count: int, dims: int, layout: PageLayout | None = None) -> int:
+    """Number of pages a linear scan of ``count`` ``dims``-d vectors reads.
+
+    This is the paper's denominator for the normalized I/O cost:
+    ``ceil(num_tuples * tuple_size / page_size)`` with densely packed pages.
+    """
+    layout = layout or PageLayout()
+    per_page = data_node_capacity(dims, layout)
+    return -(-count // per_page)  # ceil division

@@ -1,0 +1,139 @@
+"""Page allocators: an in-memory simulated disk and a real file-backed one.
+
+Both stores expose the same interface — ``allocate``/``read``/``write``/
+``free`` on fixed-size pages — and both report their accesses to a shared
+:class:`~repro.storage.iostats.IOStats`.  Benchmarks use the in-memory store
+(identical accounting, no packing cost); persistence tests and the
+``HybridTree.save``/``open`` round trip use the file store, which lays pages
+out contiguously in a single file exactly like a 1999 database heap file.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+
+from repro.storage.iostats import AccessKind, IOStats
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+
+class PageStore(ABC):
+    """Abstract fixed-size page allocator with access accounting."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, stats: IOStats | None = None):
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        self._next_id = 0
+        self._free_list: list[int] = []
+
+    def allocate(self) -> int:
+        """Reserve a fresh page id (recycling freed pages first)."""
+        if self._free_list:
+            return self._free_list.pop()
+        page_id = self._next_id
+        self._next_id += 1
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the allocator."""
+        self._validate_id(page_id)
+        self._free_list.append(page_id)
+
+    def ensure_allocated(self, page_id: int) -> None:
+        """Extend the allocation horizon so ``page_id`` is addressable.
+
+        Used when mirroring a tree with stable page ids into a fresh store.
+        """
+        while self._next_id <= page_id:
+            self._next_id += 1
+
+    @property
+    def allocated_pages(self) -> int:
+        """Pages currently in use (allocated minus freed)."""
+        return self._next_id - len(self._free_list)
+
+    def _validate_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self._next_id:
+            raise KeyError(f"page id {page_id} was never allocated")
+
+    @abstractmethod
+    def read(self, page_id: int, kind: AccessKind = AccessKind.RANDOM_READ) -> bytes:
+        """Return the page's contents, charging one access of ``kind``."""
+
+    @abstractmethod
+    def write(
+        self, page_id: int, data: bytes, kind: AccessKind = AccessKind.RANDOM_WRITE
+    ) -> None:
+        """Store ``data`` (at most ``page_size`` bytes), charging one access."""
+
+
+class InMemoryPageStore(PageStore):
+    """Simulated disk: pages live in a dict, accesses are only counted."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, stats: IOStats | None = None):
+        super().__init__(page_size, stats)
+        self._pages: dict[int, bytes] = {}
+
+    def read(self, page_id: int, kind: AccessKind = AccessKind.RANDOM_READ) -> bytes:
+        self._validate_id(page_id)
+        self.stats.record(kind)
+        return self._pages.get(page_id, b"\x00" * self.page_size)
+
+    def write(
+        self, page_id: int, data: bytes, kind: AccessKind = AccessKind.RANDOM_WRITE
+    ) -> None:
+        self._validate_id(page_id)
+        if len(data) > self.page_size:
+            raise ValueError(f"page overflow: {len(data)} > {self.page_size} bytes")
+        self.stats.record(kind)
+        self._pages[page_id] = data
+
+
+class FilePageStore(PageStore):
+    """Real file-backed pages: page ``i`` occupies bytes ``[i*P, (i+1)*P)``."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        stats: IOStats | None = None,
+    ):
+        super().__init__(page_size, stats)
+        self.path = os.fspath(path)
+        # "r+b" keeps existing content; create the file if absent.
+        mode = "r+b" if os.path.exists(self.path) else "w+b"
+        self._file = open(self.path, mode)
+        size = os.path.getsize(self.path)
+        self._next_id = size // page_size
+
+    def read(self, page_id: int, kind: AccessKind = AccessKind.RANDOM_READ) -> bytes:
+        self._validate_id(page_id)
+        self.stats.record(kind)
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        return data.ljust(self.page_size, b"\x00")
+
+    def write(
+        self, page_id: int, data: bytes, kind: AccessKind = AccessKind.RANDOM_WRITE
+    ) -> None:
+        self._validate_id(page_id)
+        if len(data) > self.page_size:
+            raise ValueError(f"page overflow: {len(data)} > {self.page_size} bytes")
+        self.stats.record(kind)
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data.ljust(self.page_size, b"\x00"))
+
+    def flush(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "FilePageStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

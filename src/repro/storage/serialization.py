@@ -1,0 +1,129 @@
+"""Byte-level node codecs: packing hybrid-tree nodes into 4096-byte pages.
+
+Layouts (little-endian):
+
+Data node page::
+
+    u8  kind (=1)
+    u16 count
+    u16 dims
+    count * dims * f32   vectors
+    count * u32          oids
+
+Index node page::
+
+    u8  kind (=2)
+    u16 level
+    then the intranode kd-tree in preorder:
+        internal:  u8 tag (=1), u16 dim, f32 lsp, f32 rsp, <left>, <right>
+        leaf:      u8 tag (=0), u32 child page id
+
+The preorder encoding needs no offsets (11 bytes per internal, 5 per leaf),
+comfortably inside the 14/4-byte entry budget the capacity model of
+:mod:`repro.storage.page` charges, so every node the capacity model admits is
+guaranteed to fit its page — asserted in ``encode``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.kdnodes import KDInternal, KDLeaf, KDNode
+from repro.core.nodes import DataNode, IndexNode
+
+_KIND_DATA = 1
+_KIND_INDEX = 2
+
+_DATA_HEADER = struct.Struct("<BHH")
+_INDEX_HEADER = struct.Struct("<BH")
+_KD_INTERNAL = struct.Struct("<BHff")
+_KD_LEAF = struct.Struct("<BI")
+
+
+class HybridNodeCodec:
+    """Encode/decode hybrid-tree nodes (implements
+    :class:`repro.storage.nodemanager.NodeCodec`)."""
+
+    def __init__(self, dims: int, data_capacity: int, page_size: int = 4096):
+        self.dims = dims
+        self.data_capacity = data_capacity
+        self.page_size = page_size
+
+    # ------------------------------------------------------------------
+    def encode(self, node: DataNode | IndexNode) -> bytes:
+        if isinstance(node, DataNode):
+            data = self._encode_data(node)
+        elif isinstance(node, IndexNode):
+            data = self._encode_index(node)
+        else:
+            raise TypeError(f"cannot encode {type(node).__name__}")
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"encoded node ({len(data)} bytes) exceeds page size {self.page_size}"
+            )
+        return data
+
+    def decode(self, data: bytes) -> DataNode | IndexNode:
+        kind = data[0]
+        if kind == _KIND_DATA:
+            return self._decode_data(data)
+        if kind == _KIND_INDEX:
+            return self._decode_index(data)
+        raise ValueError(f"unknown node kind {kind}")
+
+    # ------------------------------------------------------------------
+    def _encode_data(self, node: DataNode) -> bytes:
+        header = _DATA_HEADER.pack(_KIND_DATA, node.count, node.dims)
+        vectors = np.ascontiguousarray(node.points(), dtype="<f4").tobytes()
+        oids = np.ascontiguousarray(node.live_oids(), dtype="<u4").tobytes()
+        return header + vectors + oids
+
+    def _decode_data(self, data: bytes) -> DataNode:
+        _, count, dims = _DATA_HEADER.unpack_from(data, 0)
+        if dims != self.dims:
+            raise ValueError(f"page dims {dims} != codec dims {self.dims}")
+        node = DataNode(dims, self.data_capacity)
+        offset = _DATA_HEADER.size
+        vec_bytes = count * dims * 4
+        vectors = np.frombuffer(data, dtype="<f4", count=count * dims, offset=offset)
+        oids = np.frombuffer(data, dtype="<u4", count=count, offset=offset + vec_bytes)
+        node.vectors[:count] = vectors.reshape(count, dims)
+        node.oids[:count] = oids
+        node.count = count
+        return node
+
+    # ------------------------------------------------------------------
+    def _encode_index(self, node: IndexNode) -> bytes:
+        parts = [_INDEX_HEADER.pack(_KIND_INDEX, node.level)]
+
+        def pack(kd: KDNode) -> None:
+            if isinstance(kd, KDLeaf):
+                parts.append(_KD_LEAF.pack(0, kd.child_id))
+                return
+            parts.append(_KD_INTERNAL.pack(1, kd.dim, kd.lsp, kd.rsp))
+            pack(kd.left)
+            pack(kd.right)
+
+        pack(node.kd_root)
+        return b"".join(parts)
+
+    def _decode_index(self, data: bytes) -> IndexNode:
+        _, level = _INDEX_HEADER.unpack_from(data, 0)
+        offset = _INDEX_HEADER.size
+
+        def unpack() -> KDNode:
+            nonlocal offset
+            tag = data[offset]
+            if tag == 0:
+                _, child_id = _KD_LEAF.unpack_from(data, offset)
+                offset += _KD_LEAF.size
+                return KDLeaf(child_id)
+            _, dim, lsp, rsp = _KD_INTERNAL.unpack_from(data, offset)
+            offset += _KD_INTERNAL.size
+            left = unpack()
+            right = unpack()
+            return KDInternal(dim, lsp, rsp, left, right)
+
+        return IndexNode(unpack(), level)

@@ -1,0 +1,181 @@
+"""Cross-structure exactness: every index answers every query identically.
+
+These are the load-bearing integration tests: for random datasets, every
+index structure (hybrid tree included) must return exactly the brute-force
+answer for box range, distance range and k-NN queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HBTree, KDBTree, RTree, SRTree, SSTree, SequentialScan
+from repro.core import HybridTree
+from repro.distances import L1, L2
+from repro.geometry.rect import Rect
+from tests.conftest import (
+    brute_force_distance_range,
+    brute_force_knn_dists,
+    brute_force_range,
+    random_boxes,
+)
+
+N = 2500
+DIMS = 6
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(99)
+    # Half uniform, half clustered — exercises skew.
+    uniform = rng.random((N // 2, DIMS))
+    centers = rng.random((5, DIMS))
+    clustered = centers[rng.integers(0, 5, N - N // 2)] + rng.normal(
+        0, 0.03, (N - N // 2, DIMS)
+    )
+    return np.clip(np.vstack([uniform, clustered]), 0, 1).astype(np.float32)
+
+
+def _build(cls, data, **kwargs):
+    if cls is HybridTree:
+        tree = HybridTree(data.shape[1], **kwargs)
+        for oid, v in enumerate(data):
+            tree.insert(v, oid)
+        return tree
+    return cls.from_points(data, **kwargs)
+
+
+INDEXES = [
+    ("hybrid", HybridTree, {}),
+    ("hybrid-noels", HybridTree, {"els_bits": 0}),
+    ("seqscan", SequentialScan, {}),
+    ("rtree", RTree, {}),
+    ("sstree", SSTree, {}),
+    ("srtree-rtree", SRTree, {"insert_policy": "rtree"}),
+    ("srtree-sstree", SRTree, {"insert_policy": "sstree"}),
+    ("kdbtree", KDBTree, {}),
+    ("hbtree", HBTree, {}),
+]
+
+
+@pytest.fixture(scope="module")
+def built(data):
+    return {name: _build(cls, data, **kw) for name, cls, kw in INDEXES}
+
+
+@pytest.mark.parametrize("name", [n for n, _, _ in INDEXES])
+def test_range_search_exact(name, data, built, rng):
+    index = built[name]
+    for query in random_boxes(rng, DIMS, 12):
+        assert set(index.range_search(query)) == brute_force_range(data, query), name
+
+
+@pytest.mark.parametrize("name", [n for n, _, _ in INDEXES])
+def test_point_search_exact(name, data, built):
+    index = built[name]
+    for oid in (0, 7, N - 1):
+        assert oid in index.point_search(data[oid]), name
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, _, _ in INDEXES if n not in ("sstree",)]
+)
+def test_distance_range_l1_exact(name, data, built, rng):
+    """L1 queries on every structure that supports arbitrary metrics."""
+    index = built[name]
+    for _ in range(6):
+        q = data[int(rng.integers(N))].astype(np.float64)
+        radius = float(rng.uniform(0.2, 0.8))
+        got = {oid for oid, _ in index.distance_range(q, radius, L1)}
+        assert got == brute_force_distance_range(data, q, radius, L1), name
+
+
+@pytest.mark.parametrize("name", [n for n, _, _ in INDEXES])
+def test_distance_range_l2_exact(name, data, built, rng):
+    index = built[name]
+    for _ in range(6):
+        q = data[int(rng.integers(N))].astype(np.float64)
+        radius = float(rng.uniform(0.1, 0.5))
+        got = {oid for oid, _ in index.distance_range(q, radius, L2)}
+        assert got == brute_force_distance_range(data, q, radius, L2), name
+
+
+@pytest.mark.parametrize("name", [n for n, _, _ in INDEXES])
+def test_knn_l2_exact(name, data, built, rng):
+    index = built[name]
+    for _ in range(5):
+        q = rng.random(DIMS)
+        got = index.knn(q, 8, L2)
+        expected = brute_force_knn_dists(data, q, 8, L2)
+        assert np.allclose([d for _, d in got], expected, atol=1e-5), name
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, _, _ in INDEXES if n not in ("sstree",)]
+)
+def test_knn_l1_exact(name, data, built, rng):
+    index = built[name]
+    for _ in range(5):
+        q = rng.random(DIMS)
+        got = index.knn(q, 8, L1)
+        expected = brute_force_knn_dists(data, q, 8, L1)
+        assert np.allclose([d for _, d in got], expected, atol=1e-5), name
+
+
+def test_sstree_rejects_non_euclidean(built):
+    with pytest.raises(ValueError):
+        built["sstree"].distance_range(np.zeros(DIMS), 1.0, L1)
+    with pytest.raises(ValueError):
+        built["sstree"].knn(np.zeros(DIMS), 3, L1)
+
+
+def test_all_indexes_account_io(built):
+    whole = Rect.unit(DIMS)
+    for name, index in built.items():
+        index.io.reset()
+        index.range_search(whole)
+        assert index.io.total_accesses > 0, name
+
+
+def test_all_indexes_report_pages_and_len(built):
+    for name, index in built.items():
+        assert len(index) == N, name
+        assert index.pages() > 0, name
+
+
+@pytest.mark.parametrize("structure", ["kdbtree", "hbtree", "srtree-rtree"])
+def test_property_randomized_small_trees(structure):
+    """Randomized mini-instances: build, query, compare with brute force.
+
+    Complements the fixed-seed module fixtures with many small shapes
+    (duplicates, clusters, few points) where split edge cases live.
+    """
+    import numpy as np
+
+    from repro.geometry.rect import Rect
+
+    cls_and_kwargs = {
+        "kdbtree": (KDBTree, {}),
+        "hbtree": (HBTree, {}),
+        "srtree-rtree": (SRTree, {"insert_policy": "rtree"}),
+    }[structure]
+    cls, kwargs = cls_and_kwargs
+    for seed in range(12):
+        rng = np.random.default_rng(seed * 7 + 1)
+        n = int(rng.integers(10, 400))
+        dims = int(rng.integers(2, 6))
+        if rng.random() < 0.3:  # duplicate-heavy instance
+            base = rng.random((max(2, n // 10), dims))
+            points = base[rng.integers(0, len(base), n)].astype(np.float32)
+        else:
+            points = rng.random((n, dims)).astype(np.float32)
+        index = cls.from_points(points, **kwargs)
+        lo = rng.random(dims) * 0.6
+        box = Rect(lo, np.minimum(lo + rng.random(dims) * 0.4 + 0.05, 1.0))
+        assert set(index.range_search(box)) == brute_force_range(points, box), (
+            structure,
+            seed,
+        )
+        q = rng.random(dims)
+        got = index.knn(q, min(5, n), L2)
+        expected = brute_force_knn_dists(points, q, min(5, n), L2)
+        assert np.allclose([d for _, d in got], expected, atol=1e-5), (structure, seed)

@@ -1,0 +1,242 @@
+"""Tests for the extension competitors: X-tree, M-tree, VA-file, rr policy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MTree, RTree, VAFile, XTree
+from repro.baselines.mtree import mtree_index_capacity, mtree_leaf_capacity
+from repro.core import HybridTree
+from repro.core.splits import POLICY_RR, choose_data_split, reset_round_robin
+from repro.datasets import clustered_dataset, colhist_dataset, uniform_dataset
+from repro.distances import L1, L2, LINF
+from repro.geometry.rect import Rect
+from tests.conftest import (
+    brute_force_distance_range,
+    brute_force_knn_dists,
+    brute_force_range,
+    random_boxes,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_dataset(2200, 6, clusters=6, seed=55)
+
+
+class TestVAFile:
+    @pytest.fixture(scope="class", params=[2, 6, 10], ids=lambda b: f"bits={b}")
+    def va(self, request, data):
+        return VAFile.from_points(data, bits=request.param)
+
+    def test_range_exact(self, va, data, rng):
+        for query in random_boxes(rng, 6, 8):
+            assert set(va.range_search(query)) == brute_force_range(data, query)
+
+    def test_distance_range_exact(self, va, data, rng):
+        for metric in (L1, L2, LINF):
+            q = data[17].astype(np.float64)
+            got = {o for o, _ in va.distance_range(q, 0.4, metric)}
+            assert got == brute_force_distance_range(data, q, 0.4, metric)
+
+    def test_knn_exact(self, va, data, rng):
+        q = rng.random(6)
+        got = va.knn(q, 7, L2)
+        assert np.allclose(
+            [d for _, d in got], brute_force_knn_dists(data, q, 7, L2), atol=1e-6
+        )
+
+    def test_io_model(self, data):
+        va = VAFile.from_points(data, bits=6)
+        va.io.reset()
+        va.knn(data[0].astype(np.float64), 5, L2)
+        # Every query scans the full approximation file sequentially ...
+        assert va.io.sequential_reads == va.approximation_pages()
+        # ... and verifies only a few candidates with random reads.
+        assert 0 < va.io.random_reads < va.heap_pages()
+
+    def test_approximation_smaller_than_heap(self, data):
+        va = VAFile.from_points(data, bits=6)
+        assert va.approximation_pages() < va.heap_pages()
+
+    def test_more_bits_fewer_candidates(self, data, rng):
+        q = rng.random(6)
+        reads = []
+        for bits in (2, 8):
+            va = VAFile.from_points(data, bits=bits)
+            va.io.reset()
+            va.knn(q, 5, L2)
+            reads.append(va.io.random_reads)
+        assert reads[1] <= reads[0]
+
+    def test_out_of_bounds_insert_requantizes(self):
+        va = VAFile(2, bits=4)
+        va.insert(np.array([0.5, 0.5]), 0)
+        va.insert(np.array([2.0, 2.0]), 1)  # outside unit bounds
+        assert set(va.point_search(np.array([0.5, 0.5]))) == {0}
+        assert set(va.point_search(np.array([2.0, 2.0]))) == {1}
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            VAFile(4, bits=0)
+
+    def test_empty(self):
+        va = VAFile(3)
+        assert va.range_search(Rect.unit(3)) == []
+        assert va.knn(np.zeros(3), 2) == []
+        assert va.pages() == 0
+
+
+class TestMTree:
+    @pytest.fixture(scope="class")
+    def mt(self, data):
+        return MTree.from_points(data, metric=L2)
+
+    def test_distance_range_exact(self, mt, data, rng):
+        for _ in range(6):
+            q = data[int(rng.integers(len(data)))].astype(np.float64)
+            r = float(rng.uniform(0.1, 0.5))
+            got = {o for o, _ in mt.distance_range(q, r)}
+            assert got == brute_force_distance_range(data, q, r, L2)
+
+    def test_knn_exact(self, mt, data, rng):
+        for _ in range(4):
+            q = rng.random(6)
+            got = mt.knn(q, 9)
+            assert np.allclose(
+                [d for _, d in got], brute_force_knn_dists(data, q, 9, L2), atol=1e-6
+            )
+
+    def test_l1_tree(self, data, rng):
+        mt1 = MTree.from_points(data[:800], metric=L1)
+        q = data[3].astype(np.float64)
+        got = {o for o, _ in mt1.distance_range(q, 0.6)}
+        assert got == brute_force_distance_range(data[:800], q, 0.6, L1)
+
+    def test_rejects_window_queries(self, mt):
+        with pytest.raises(TypeError):
+            mt.range_search(Rect.unit(6))
+
+    def test_rejects_foreign_metric(self, mt):
+        with pytest.raises(ValueError):
+            mt.knn(np.zeros(6), 3, metric=L1)
+        with pytest.raises(ValueError):
+            mt.distance_range(np.zeros(6), 0.5, metric=LINF)
+        # The build metric itself is fine to pass explicitly.
+        assert isinstance(mt.knn(np.zeros(6), 1, metric=L2), list)
+
+    def test_covering_radii_cover_subtrees(self, mt):
+        from repro.baselines.common import EntryLeaf
+        from repro.baselines.mtree import MIndexNode
+
+        def check(node_id, router, radius):
+            node = mt.nm.get(node_id, charge=False)
+            if isinstance(node, EntryLeaf):
+                if router is not None and node.count:
+                    dists = L2.distance_batch(node.points().astype(np.float64), router)
+                    assert np.all(dists <= radius + 1e-6)
+                return
+            assert isinstance(node, MIndexNode)
+            for entry in node.entries:
+                if router is not None:
+                    assert (
+                        L2.distance(router, entry.router) + entry.radius
+                        <= radius + 1e-6
+                    )
+                check(entry.child_id, entry.router, entry.radius)
+
+        check(mt._root_id, None, None)
+
+    def test_capacity_model(self):
+        assert mtree_leaf_capacity(16) == (4096 - 32) // (16 * 4 + 8)
+        assert mtree_index_capacity(64) == (4096 - 32) // (64 * 4 + 12)
+
+    def test_height_grows(self):
+        data = uniform_dataset(4000, 4, seed=60)
+        mt = MTree.from_points(data)
+        assert mt.height >= 2
+        assert len(mt) == 4000
+
+
+class TestXTree:
+    def test_exactness(self, data, rng):
+        xt = XTree.from_points(data)
+        for query in random_boxes(rng, 6, 8):
+            assert set(xt.range_search(query)) == brute_force_range(data, query)
+        q = rng.random(6)
+        assert np.allclose(
+            [d for _, d in xt.knn(q, 6, L2)],
+            brute_force_knn_dists(data, q, 6, L2),
+            atol=1e-6,
+        )
+
+    def test_supernodes_form_at_high_dims(self):
+        data = colhist_dataset(6000, 64, seed=61)
+        xt = XTree.from_points(data)
+        assert xt.supernode_count() > 0
+        assert len(xt) == 6000
+
+    def test_supernode_visits_charge_extra_pages(self):
+        data = colhist_dataset(6000, 64, seed=61)
+        xt = XTree.from_points(data)
+        pages = [p for p in xt.nm.page_counts.values() if p > 1]
+        assert pages and max(pages) <= xt.max_supernode_pages
+        assert xt.pages() > xt.nm.store.allocated_pages
+
+    def test_low_dims_behave_like_rtree(self, data, rng):
+        xt = XTree.from_points(data)
+        rt = RTree.from_points(data)
+        assert xt.supernode_count() == 0
+        q = random_boxes(rng, 6, 1)[0]
+        assert set(xt.range_search(q)) == set(rt.range_search(q))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            XTree(4, max_overlap=1.5)
+        with pytest.raises(ValueError):
+            XTree(4, max_supernode_pages=0)
+
+    def test_delete_works(self, data):
+        xt = XTree.from_points(data[:600])
+        for oid in range(200):
+            assert xt.delete(data[oid], oid)
+        assert len(xt) == 400
+
+
+class TestRoundRobinPolicy:
+    def test_policy_accepted(self):
+        pts = np.random.default_rng(0).random((30, 4))
+        reset_round_robin()
+        split = choose_data_split(pts, 0.3, policy=POLICY_RR)
+        assert 0 <= split.dim < 4
+
+    def test_cycles_dimensions(self):
+        pts = np.random.default_rng(1).random((30, 3))
+        reset_round_robin()
+        dims = [choose_data_split(pts, 0.3, policy=POLICY_RR).dim for _ in range(3)]
+        assert sorted(dims) == [0, 1, 2]
+
+    def test_tree_with_rr_policy_is_exact(self, rng):
+        data = uniform_dataset(1500, 5, seed=62)
+        tree = HybridTree(5, split_policy=POLICY_RR)
+        for oid, v in enumerate(data):
+            tree.insert(v, oid)
+        tree.validate()
+        q = random_boxes(rng, 5, 1)[0]
+        assert set(tree.range_search(q)) == brute_force_range(data, q)
+
+    def test_rr_splits_dead_dimensions_unlike_eda(self):
+        """Lemma 1 contrast: round-robin wastes splits on the padded dims."""
+        from repro.core import compute_stats
+        from repro.datasets import pad_with_nondiscriminating_dims
+
+        base = colhist_dataset(4000, 16, seed=63)
+        data = pad_with_nondiscriminating_dims(base, 16, seed=64)
+        eda = HybridTree(32)
+        rr = HybridTree(32, split_policy=POLICY_RR)
+        for oid, v in enumerate(data):
+            eda.insert(v, oid)
+            rr.insert(v, oid)
+        eda_padded = {d for d in compute_stats(eda).split_dims_used if d >= 16}
+        rr_padded = {d for d in compute_stats(rr).split_dims_used if d >= 16}
+        assert not eda_padded        # Lemma 1 guarantee
+        assert rr_padded             # the uninformed policy cannot give it

@@ -1,0 +1,108 @@
+"""Tests for top-down bulk loading."""
+
+import numpy as np
+import pytest
+
+from repro.core import HybridTree, compute_stats
+from repro.core.bulkload import bulk_load_into
+from repro.datasets import clustered_dataset, uniform_dataset
+from repro.geometry.rect import Rect
+from tests.conftest import brute_force_range, random_boxes
+
+
+class TestBulkLoad:
+    def test_equivalent_results_to_dynamic(self, rng):
+        data = uniform_dataset(4000, 8, seed=20)
+        bulk = HybridTree.bulk_load(data)
+        dynamic = HybridTree(8)
+        for oid, v in enumerate(data):
+            dynamic.insert(v, oid)
+        for query in random_boxes(rng, 8, 15):
+            expected = brute_force_range(data, query)
+            assert set(bulk.range_search(query)) == expected
+            assert set(dynamic.range_search(query)) == expected
+
+    def test_validates(self):
+        data = clustered_dataset(6000, 16, clusters=7, seed=21)
+        tree = HybridTree.bulk_load(data)
+        tree.validate()
+        assert len(tree) == 6000
+
+    def test_zero_overlap_after_bulk(self):
+        data = uniform_dataset(5000, 8, seed=22)
+        tree = HybridTree.bulk_load(data)
+        stats = compute_stats(tree)
+        assert stats.overlapping_split_count == 0
+        assert stats.data_level_overlap_volume == pytest.approx(0.0)
+
+    def test_custom_oids(self):
+        data = uniform_dataset(100, 4, seed=23)
+        oids = np.arange(1000, 1100, dtype=np.uint32)
+        tree = HybridTree.bulk_load(data, oids=oids)
+        assert sorted(tree.range_search(Rect.unit(4))) == list(range(1000, 1100))
+
+    def test_small_datasets(self):
+        for n in (0, 1, 2, 5):
+            data = uniform_dataset(n, 4, seed=24) if n else np.empty((0, 4), np.float32)
+            tree = HybridTree.bulk_load(data)
+            assert len(tree) == n
+            if n:
+                tree.validate()
+                assert len(tree.range_search(Rect.unit(4))) == n
+
+    def test_single_data_node(self):
+        data = uniform_dataset(10, 64, seed=25)
+        tree = HybridTree.bulk_load(data)
+        assert tree.height == 1
+        assert len(tree.range_search(Rect.unit(64))) == 10
+
+    def test_dynamic_inserts_after_bulk(self, rng):
+        data = uniform_dataset(3000, 8, seed=26)
+        tree = HybridTree.bulk_load(data)
+        extra = uniform_dataset(500, 8, seed=27)
+        for i, v in enumerate(extra):
+            tree.insert(v, 10_000 + i)
+        tree.validate()
+        everything = np.vstack([data, extra])
+        q = random_boxes(rng, 8, 5)[0]
+        assert set(tree.range_search(q)) == {
+            (i if i < 3000 else 10_000 + i - 3000)
+            for i in brute_force_range(everything, q)
+        }
+
+    def test_deletes_after_bulk(self):
+        data = uniform_dataset(2000, 8, seed=28)
+        tree = HybridTree.bulk_load(data)
+        for oid in range(700):
+            assert tree.delete(data[oid], oid)
+        tree.validate()
+        assert len(tree) == 1300
+
+    def test_rejects_nonempty_tree(self):
+        data = uniform_dataset(50, 4, seed=29)
+        tree = HybridTree(4)
+        tree.insert(data[0], 0)
+        with pytest.raises(ValueError):
+            bulk_load_into(tree, data)
+
+    def test_rejects_misaligned_oids(self):
+        data = uniform_dataset(50, 4, seed=30)
+        with pytest.raises(ValueError):
+            HybridTree.bulk_load(data, oids=np.arange(49))
+
+    def test_rejects_wrong_shape(self):
+        tree = HybridTree(4)
+        with pytest.raises(ValueError):
+            bulk_load_into(tree, np.zeros((10, 5), dtype=np.float32))
+
+    def test_utilization_reasonable(self):
+        data = uniform_dataset(8000, 16, seed=31)
+        tree = HybridTree.bulk_load(data)
+        stats = compute_stats(tree)
+        assert stats.avg_data_utilization >= 0.5
+
+    def test_duplicates_bulk(self):
+        data = np.tile(np.array([[0.5] * 4], dtype=np.float32), (500, 1))
+        tree = HybridTree.bulk_load(data)
+        tree.validate()
+        assert len(tree.point_search(data[0])) == 500

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info", "--dims", "16", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "226" in out  # dimension-independent kd fanout
+    assert "hybrid" in out
+
+
+def test_generate_build_query_roundtrip(tmp_path, capsys):
+    data_path = str(tmp_path / "d.npy")
+    tree_path = str(tmp_path / "t.pages")
+    assert main([
+        "generate", "--dataset", "clustered", "--count", "800",
+        "--dims", "6", "--seed", "3", "--out", data_path,
+    ]) == 0
+    data = np.load(data_path)
+    assert data.shape == (800, 6)
+
+    assert main(["build", "--data", data_path, "--out", tree_path, "--bulk"]) == 0
+    capsys.readouterr()
+
+    vector = ",".join(str(float(x)) for x in data[13])
+    assert main([
+        "query", "--tree", tree_path, "--vector", vector, "--knn", "3",
+        "--metric", "l1",
+    ]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.strip().splitlines() if line]
+    assert len(lines) == 3
+    first_oid, first_dist = lines[0].split("\t")
+    assert first_oid == "13" and float(first_dist) == 0.0
+
+
+def test_query_radius_and_box(tmp_path, capsys):
+    data_path = str(tmp_path / "d.npy")
+    tree_path = str(tmp_path / "t.pages")
+    main(["generate", "--dataset", "uniform", "--count", "500", "--dims", "3",
+          "--out", data_path])
+    main(["build", "--data", data_path, "--out", tree_path])
+    capsys.readouterr()
+
+    data = np.load(data_path)
+    vector = ",".join(str(float(x)) for x in data[0])
+    assert main([
+        "query", "--tree", tree_path, "--vector", vector, "--radius", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "0\t0.000000" in out
+
+    assert main(["query", "--tree", tree_path, "--box", "0,0,0:1,1,1"]) == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) == 500
+
+
+def test_query_requires_mode(tmp_path):
+    data_path = str(tmp_path / "d.npy")
+    tree_path = str(tmp_path / "t.pages")
+    main(["generate", "--dataset", "uniform", "--count", "50", "--dims", "2",
+          "--out", data_path])
+    main(["build", "--data", data_path, "--out", tree_path])
+    with pytest.raises(SystemExit):
+        main(["query", "--tree", tree_path, "--vector", "0.5,0.5"])
+
+
+def test_bad_metric_rejected(tmp_path):
+    data_path = str(tmp_path / "d.npy")
+    tree_path = str(tmp_path / "t.pages")
+    main(["generate", "--dataset", "uniform", "--count", "50", "--dims", "2",
+          "--out", data_path])
+    main(["build", "--data", data_path, "--out", tree_path])
+    with pytest.raises(SystemExit):
+        main(["query", "--tree", tree_path, "--vector", "0.5,0.5", "--knn", "1",
+              "--metric", "hamming"])
+
+
+def test_custom_lp_metric(tmp_path, capsys):
+    data_path = str(tmp_path / "d.npy")
+    tree_path = str(tmp_path / "t.pages")
+    main(["generate", "--dataset", "uniform", "--count", "200", "--dims", "2",
+          "--out", data_path])
+    main(["build", "--data", data_path, "--out", tree_path])
+    capsys.readouterr()
+    assert main(["query", "--tree", tree_path, "--vector", "0.5,0.5",
+                 "--knn", "2", "--metric", "3"]) == 0
+
+
+def test_bench_smoke(capsys):
+    assert main(["bench", "--figure", "fig5", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "hybrid" in out and "hybrid-vam" in out

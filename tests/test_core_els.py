@@ -1,0 +1,144 @@
+"""Tests for Encoded Live Space (dead-space elimination, Section 3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.els import ELSTable, encode_cells, quantize_live_rect
+from repro.geometry.rect import Rect
+
+
+def _random_live_in(region: Rect, rng) -> Rect:
+    a = rng.uniform(region.low, region.high)
+    b = rng.uniform(region.low, region.high)
+    return Rect(np.minimum(a, b), np.maximum(a, b))
+
+
+class TestQuantize:
+    def test_zero_bits_returns_region(self):
+        region = Rect.unit(3)
+        live = Rect([0.2] * 3, [0.3] * 3)
+        assert quantize_live_rect(live, region, 0) == region
+
+    def test_superset_of_live_subset_of_region(self, rng):
+        region = Rect([0.0, -2.0], [4.0, 6.0])
+        for bits in (1, 2, 4, 8, 16):
+            for _ in range(25):
+                live = _random_live_in(region, rng)
+                q = quantize_live_rect(live, region, bits)
+                assert q.contains_rect(live)
+                assert region.contains_rect(q)
+
+    def test_monotone_in_bits(self, rng):
+        """Higher precision never loosens the box."""
+        region = Rect.unit(4)
+        for _ in range(25):
+            live = _random_live_in(region, rng)
+            vol_prev = np.inf
+            for bits in (1, 2, 4, 8):
+                q = quantize_live_rect(live, region, bits)
+                assert q.volume() <= vol_prev + 1e-12
+                vol_prev = q.volume()
+
+    def test_grid_alignment(self):
+        region = Rect([0.0], [1.0])
+        live = Rect([0.26], [0.30])
+        q = quantize_live_rect(live, region, 2)  # grid cells of 0.25
+        assert q.low[0] == pytest.approx(0.25)
+        assert q.high[0] == pytest.approx(0.5)
+
+    def test_degenerate_region_side(self):
+        region = Rect([0.0, 1.0], [1.0, 1.0])
+        live = Rect([0.4, 1.0], [0.6, 1.0])
+        q = quantize_live_rect(live, region, 4)
+        assert q.contains_rect(live)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            quantize_live_rect(Rect.unit(1), Rect.unit(1), 17)
+
+
+class TestEncodeCells:
+    def test_bit_width(self):
+        region = Rect.unit(2)
+        live = Rect([0.1, 0.2], [0.4, 0.9])
+        lo, hi = encode_cells(live, region, 4)
+        assert lo.dtype == np.uint32 and hi.dtype == np.uint32
+        assert np.all(lo <= 16) and np.all(hi <= 16)
+        assert np.all(lo <= hi)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            encode_cells(Rect.unit(1), Rect.unit(1), 0)
+
+
+class TestELSTable:
+    def test_disabled_table(self):
+        table = ELSTable(4, 0)
+        assert not table.enabled
+        assert table.memory_bytes == 0
+        region = Rect.unit(4)
+        table.set(1, Rect([0.1] * 4, [0.2] * 4))
+        assert table.effective_rect(1, region) == region
+
+    def test_effective_rect_quantized(self):
+        table = ELSTable(2, 4)
+        region = Rect.unit(2)
+        live = Rect([0.3, 0.3], [0.4, 0.4])
+        table.set(7, live)
+        eff = table.effective_rect(7, region)
+        assert eff.contains_rect(live)
+        assert region.contains_rect(eff)
+        assert eff.volume() < region.volume()
+
+    def test_unknown_node_falls_back_to_region(self):
+        table = ELSTable(2, 4)
+        region = Rect.unit(2)
+        assert table.effective_rect(99, region) == region
+
+    def test_merge_point_grows(self):
+        table = ELSTable(2, 4)
+        table.merge_point(1, np.array([0.5, 0.5]))
+        table.merge_point(1, np.array([0.7, 0.2]))
+        live = table.get(1)
+        assert live.contains_point(np.array([0.5, 0.5]))
+        assert live.contains_point(np.array([0.7, 0.2]))
+
+    def test_stale_live_outside_region_falls_back(self):
+        table = ELSTable(1, 4)
+        table.set(1, Rect([2.0], [3.0]))
+        region = Rect([0.0], [1.0])
+        assert table.effective_rect(1, region) == region
+
+    def test_memory_accounting(self):
+        table = ELSTable(64, 4)
+        for i in range(10):
+            table.set(i, Rect.unit(64))
+        # 2 boundaries * 64 dims * 4 bits = 64 bytes per node.
+        assert table.memory_bytes == 64 * 10
+
+    def test_drop_and_contains(self):
+        table = ELSTable(2, 4)
+        table.set(3, Rect.unit(2))
+        assert 3 in table and len(table) == 1
+        table.drop(3)
+        assert 3 not in table and len(table) == 0
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            ELSTable(2, -1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.floats(0.0078125, 0.984375, width=32), min_size=2, max_size=2),
+    st.lists(st.floats(0.0078125, 0.984375, width=32), min_size=2, max_size=2),
+    st.integers(1, 16),
+)
+def test_property_quantized_contains_live(a, b, bits):
+    region = Rect.unit(2)
+    live = Rect(np.minimum(a, b), np.maximum(a, b))
+    q = quantize_live_rect(live, region, bits)
+    assert q.contains_rect(live)
+    assert region.contains_rect(q)

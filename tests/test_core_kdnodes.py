@@ -1,0 +1,191 @@
+"""Tests for the dual-position intranode kd-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core import kdnodes
+from repro.core.kdnodes import KDInternal, KDLeaf
+from repro.geometry.rect import Rect
+
+
+def sample_tree():
+    """The structure of the paper's Figure 1 (ids stand in for L1..L7)."""
+    return KDInternal(
+        0, 3.0, 3.0,
+        KDInternal(
+            1, 3.0, 2.0,
+            KDInternal(0, 2.0, 2.0, KDLeaf(1), KDLeaf(2)),
+            KDLeaf(3),
+        ),
+        KDInternal(
+            0, 5.0, 4.0,
+            KDInternal(1, 4.0, 4.0, KDLeaf(4), KDLeaf(7)),
+            KDInternal(1, 1.0, 1.0, KDLeaf(5), KDLeaf(6)),
+        ),
+    )
+
+
+SPACE = Rect([0.0, 0.0], [6.0, 6.0])
+
+
+class TestBasics:
+    def test_counts(self):
+        kd = sample_tree()
+        assert kdnodes.count_leaves(kd) == 7
+        assert kdnodes.count_internals(kd) == 6
+        assert kdnodes.depth(kd) == 3
+
+    def test_child_ids_in_order(self):
+        assert kdnodes.child_ids(sample_tree()) == [1, 2, 3, 4, 7, 5, 6]
+
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError):
+            KDInternal(0, 1.0, 2.0, KDLeaf(0), KDLeaf(1))
+
+    def test_overlap_property(self):
+        node = KDInternal(0, 3.0, 2.0, KDLeaf(0), KDLeaf(1))
+        assert node.overlap == 1.0
+
+    def test_split_dimensions(self):
+        assert kdnodes.split_dimensions(sample_tree()) == {0, 1}
+
+
+class TestMapping:
+    """The Section 3.1 mapping, checked against the paper's Figure 1."""
+
+    def test_figure1_style_regions(self):
+        """Regions derived by the mapping, hand-computed for sample_tree():
+        left region = parent ∩ {x_dim <= lsp}, right = parent ∩ {x_dim >= rsp}.
+        """
+        kd = sample_tree()
+        regions = {
+            leaf.child_id: region
+            for leaf, region in kdnodes.leaves_with_regions(kd, SPACE)
+        }
+        assert regions[1] == Rect([0.0, 0.0], [2.0, 3.0])
+        assert regions[2] == Rect([2.0, 0.0], [3.0, 3.0])
+        # The overlapping sibling (rsp = 2 < lsp = 3) starts at y >= 2.
+        assert regions[3] == Rect([0.0, 2.0], [3.0, 6.0])
+        assert regions[4] == Rect([3.0, 0.0], [5.0, 4.0])
+        assert regions[7] == Rect([3.0, 4.0], [5.0, 6.0])
+        assert regions[5] == Rect([4.0, 0.0], [6.0, 1.0])
+        assert regions[6] == Rect([4.0, 1.0], [6.0, 6.0])
+
+    def test_overlap_between_siblings(self):
+        kd = sample_tree()
+        regions = {
+            leaf.child_id: r for leaf, r in kdnodes.leaves_with_regions(kd, SPACE)
+        }
+        # Paper: children of an internal node with lsp > rsp have
+        # overlapping BRs — here the subtree under lsp=3/rsp=2 (leaves 1, 2)
+        # against its sibling leaf 3.
+        assert regions[3].overlap_volume(regions[1]) > 0
+        assert regions[3].overlap_volume(regions[2]) > 0
+        # Clean splits stay disjoint up to shared boundaries.
+        assert regions[1].overlap_volume(regions[2]) == 0.0
+
+    def test_region_of_child(self):
+        kd = sample_tree()
+        assert kdnodes.region_of_child(kd, SPACE, 3) == Rect([0.0, 2.0], [3.0, 6.0])
+        with pytest.raises(KeyError):
+            kdnodes.region_of_child(kd, SPACE, 99)
+
+    def test_regions_cover_space_for_clean_tree(self):
+        kd = KDInternal(0, 0.5, 0.5, KDLeaf(0), KDLeaf(1))
+        regions = [r for _, r in kdnodes.leaves_with_regions(kd, Rect.unit(1))]
+        assert regions[0].high[0] == 0.5 and regions[1].low[0] == 0.5
+
+
+class TestSurgery:
+    def test_replace_leaf(self):
+        kd = sample_tree()
+        new = KDInternal(1, 2.5, 2.5, KDLeaf(30), KDLeaf(31))
+        kd = kdnodes.replace_leaf(kd, 3, new)
+        assert kdnodes.child_ids(kd) == [1, 2, 30, 31, 4, 7, 5, 6]
+
+    def test_remove_leaf_promotes_sibling(self):
+        kd = sample_tree()
+        kd = kdnodes.remove_leaf(kd, 3)
+        assert kdnodes.child_ids(kd) == [1, 2, 4, 7, 5, 6]
+        # The internal node that held leaf 3 is gone.
+        assert kdnodes.count_internals(kd) == 5
+
+    def test_remove_last_leaf_returns_none(self):
+        assert kdnodes.remove_leaf(KDLeaf(5), 5) is None
+
+    def test_prune_to_children_preserves_pairwise_separation(self):
+        kd = sample_tree()
+        before = {
+            leaf.child_id: r for leaf, r in kdnodes.leaves_with_regions(kd, SPACE)
+        }
+        keep = {4, 5, 6, 7}
+        pruned = kdnodes.prune_to_children(kd, keep)
+        after = {
+            leaf.child_id: r for leaf, r in kdnodes.leaves_with_regions(pruned, SPACE)
+        }
+        assert set(after) == keep
+        # Regions may only widen (dropped constraints), never shrink ...
+        for cid in keep:
+            assert after[cid].contains_rect(before[cid])
+        # ... and kept siblings keep their LCA split: disjoint pairs stay
+        # disjoint.
+        assert not after[5].intersects(after[4]) or before[5].intersects(before[4])
+
+    def test_prune_to_nothing(self):
+        assert kdnodes.prune_to_children(sample_tree(), set()) is None
+
+    def test_prune_single_child(self):
+        pruned = kdnodes.prune_to_children(sample_tree(), {4})
+        assert isinstance(pruned, KDLeaf) and pruned.child_id == 4
+
+
+class TestValidation:
+    def test_valid_tree_passes(self):
+        kdnodes.validate_kdtree(sample_tree(), SPACE)
+
+    def test_detects_gap_made_by_mutation(self):
+        kd = sample_tree()
+        kd.lsp = 2.0  # now lsp < rsp would be needed... force inconsistency
+        kd.rsp = 2.5
+        with pytest.raises(AssertionError):
+            kdnodes.validate_kdtree(kd, SPACE)
+
+    def test_detects_bad_dim(self):
+        kd = KDInternal(5, 0.5, 0.5, KDLeaf(0), KDLeaf(1))
+        with pytest.raises(AssertionError):
+            kdnodes.validate_kdtree(kd, Rect.unit(2))
+
+
+def test_randomized_mapping_matches_bruteforce(rng):
+    """Mapping-derived regions equal explicit halfspace intersection."""
+    for _ in range(20):
+        dims = int(rng.integers(2, 5))
+        space = Rect.unit(dims)
+
+        def build(depth, low, high):
+            if depth == 0 or rng.random() < 0.3:
+                return KDLeaf(int(rng.integers(0, 10**6))), []
+            dim = int(rng.integers(0, dims))
+            span = high[dim] - low[dim]
+            rsp = low[dim] + rng.uniform(0.2, 0.6) * span
+            lsp = min(high[dim], rsp + rng.uniform(0.0, 0.3) * span)
+            left, lcons = build(depth - 1, low, None_high(low, high, dim, lsp))
+            right, rcons = build(depth - 1, None_low(low, high, dim, rsp), high)
+            node = KDInternal(dim, lsp, rsp, left, right)
+            return node, []
+
+        def None_high(low, high, dim, v):
+            h = high.copy()
+            h[dim] = v
+            return h
+
+        def None_low(low, high, dim, v):
+            lo = low.copy()
+            lo[dim] = v
+            return lo
+
+        kd, _ = build(3, np.zeros(dims), np.ones(dims))
+        kdnodes.validate_kdtree(kd, space)
+        regions = [r for _, r in kdnodes.leaves_with_regions(kd, space)]
+        for r in regions:
+            assert space.contains_rect(r)

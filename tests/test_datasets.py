@@ -1,0 +1,233 @@
+"""Tests for dataset generators and workload calibration."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    calibrate_box_side,
+    clustered_dataset,
+    colhist_dataset,
+    distance_workload,
+    fourier_dataset,
+    pad_with_nondiscriminating_dims,
+    range_workload,
+    uniform_dataset,
+)
+from repro.distances import L1, L2
+
+
+class TestFourier:
+    def test_shape_and_dtype(self):
+        data = fourier_dataset(500, 12)
+        assert data.shape == (500, 12)
+        assert data.dtype == np.float32
+
+    def test_normalized_to_unit_cube(self):
+        data = fourier_dataset(1000, 16)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+        # Every dimension spans its range after min-max normalization.
+        assert np.all(data.max(axis=0) - data.min(axis=0) > 0.99)
+
+    def test_deterministic(self):
+        assert np.array_equal(fourier_dataset(100, 8, seed=5), fourier_dataset(100, 8, seed=5))
+        assert not np.array_equal(
+            fourier_dataset(100, 8, seed=5), fourier_dataset(100, 8, seed=6)
+        )
+
+    def test_prefix_consistency_across_dims(self):
+        """8-d vectors are the first 8 coefficients of the 16-d vectors
+        (before per-dimension normalization), as the paper constructs them."""
+        lo = fourier_dataset(300, 8, seed=2)
+        hi = fourier_dataset(300, 16, seed=2)
+        # Same polygons, same harmonics: rank order along shared dims agrees.
+        for d in range(8):
+            assert np.array_equal(np.argsort(lo[:, d]), np.argsort(hi[:, d]))
+
+    def test_family_structure_exists(self):
+        """Within-family spread is far below the global spread."""
+        data = fourier_dataset(2000, 8, families=10, seed=3)
+        from scipy.spatial.distance import pdist
+
+        sample = data[:300].astype(np.float64)
+        global_spread = np.median(pdist(sample))
+        nn = np.sort(np.linalg.norm(sample[:, None] - sample[None, :], axis=2), axis=1)[:, 1]
+        assert np.median(nn) < global_spread / 3
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            fourier_dataset(10, 0)
+        with pytest.raises(ValueError):
+            fourier_dataset(10, 20, vertices=32)
+        with pytest.raises(ValueError):
+            fourier_dataset(10, 8, families=0)
+
+
+class TestColhist:
+    def test_shapes(self):
+        for dims in (16, 32, 64):
+            data = colhist_dataset(200, dims)
+            assert data.shape == (200, dims)
+
+    def test_rows_are_histograms(self):
+        for dims in (16, 32, 64):
+            data = colhist_dataset(300, dims, seed=1)
+            assert np.allclose(data.sum(axis=1), 1.0, atol=1e-4)
+            assert data.min() >= 0.0
+
+    def test_aggregation_consistency(self):
+        """Coarser histograms are bin-sums of the 8x8 ones (same images)."""
+        h64 = colhist_dataset(100, 64, seed=4).astype(np.float64)
+        h32 = colhist_dataset(100, 32, seed=4).astype(np.float64)
+        h16 = colhist_dataset(100, 16, seed=4).astype(np.float64)
+        grid = h64.reshape(100, 8, 8)
+        assert np.allclose((grid[:, :, 0::2] + grid[:, :, 1::2]).reshape(100, 32), h32, atol=1e-6)
+        coarse = grid[:, :, 0::2] + grid[:, :, 1::2]
+        assert np.allclose(
+            (coarse[:, 0::2, :] + coarse[:, 1::2, :]).reshape(100, 16), h16, atol=1e-6
+        )
+
+    def test_sparsity(self):
+        data = colhist_dataset(500, 64, seed=5)
+        assert float((data < 0.01).mean()) > 0.5  # most bins near-empty
+
+    def test_cluster_structure(self):
+        data = colhist_dataset(1000, 64, themes=5, seed=6)
+        # 5 themes: nearest-neighbour distance far below random-pair distance.
+        sample = data[:200].astype(np.float64)
+        d = np.linalg.norm(sample[:, None] - sample[None, :], axis=2)
+        nn = np.sort(d, axis=1)[:, 1]
+        assert np.median(nn) < np.median(d) / 2
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            colhist_dataset(10, 48)
+        with pytest.raises(ValueError):
+            colhist_dataset(10, 64, themes=0)
+
+    def test_deterministic(self):
+        assert np.array_equal(colhist_dataset(50, 32, seed=9), colhist_dataset(50, 32, seed=9))
+
+
+class TestSynthetic:
+    def test_uniform(self):
+        data = uniform_dataset(100, 5, seed=0)
+        assert data.shape == (100, 5)
+        assert data.min() >= 0 and data.max() <= 1
+
+    def test_clustered_within_bounds(self):
+        data = clustered_dataset(500, 4, clusters=3, seed=1)
+        assert data.min() >= 0 and data.max() <= 1
+
+    def test_clustered_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            clustered_dataset(10, 2, clusters=0)
+
+    def test_padding_adds_constant_dims(self):
+        base = uniform_dataset(200, 4, seed=2)
+        padded = pad_with_nondiscriminating_dims(base, 6, jitter=1e-4, seed=3)
+        assert padded.shape == (200, 10)
+        assert np.array_equal(padded[:, :4], base)
+        spreads = padded[:, 4:].max(axis=0) - padded[:, 4:].min(axis=0)
+        assert np.all(spreads < 0.01)
+
+    def test_padding_zero_dims_identity(self):
+        base = uniform_dataset(20, 3, seed=4)
+        assert pad_with_nondiscriminating_dims(base, 0) is base or np.array_equal(
+            pad_with_nondiscriminating_dims(base, 0), base
+        )
+
+    def test_padding_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pad_with_nondiscriminating_dims(uniform_dataset(5, 2), -1)
+
+
+class TestWorkloads:
+    def test_per_query_box_selectivity_exact(self):
+        data = colhist_dataset(4000, 16, seed=7)
+        workload = range_workload(data, 10, 0.005, seed=8)
+        k = int(np.ceil(0.005 * len(data)))
+        data64 = data.astype(np.float64)
+        for box in workload.boxes():
+            hits = int(np.all((data64 >= box.low) & (data64 <= box.high), axis=1).sum())
+            assert hits >= k  # at least k (ties may add a few)
+            assert hits <= k + 25
+
+    def test_global_side_calibration(self):
+        data = uniform_dataset(4000, 4, seed=9)
+        workload = range_workload(data, 10, 0.01, seed=10, per_query=False)
+        hits = [
+            int(np.all((data >= b.low) & (data <= b.high), axis=1).sum())
+            for b in workload.boxes()
+        ]
+        target = 0.01 * len(data)
+        assert 0.3 * target <= np.mean(hits) <= 3.0 * target
+
+    def test_calibrate_box_side_converges(self):
+        data = uniform_dataset(3000, 3, seed=11)
+        rng = np.random.default_rng(12)
+        centers = data[rng.choice(3000, 10)].astype(np.float64)
+        side = calibrate_box_side(data, centers, 0.01)
+        assert 0.0 < side < 1.0
+
+    def test_calibrate_rejects_bad_selectivity(self):
+        data = uniform_dataset(100, 2)
+        with pytest.raises(ValueError):
+            calibrate_box_side(data, data[:2].astype(np.float64), 1.5)
+        with pytest.raises(ValueError):
+            range_workload(data, 4, 0.0)
+
+    def test_distance_workload_selectivity_exact(self):
+        data = colhist_dataset(3000, 32, seed=13)
+        for metric in (L1, L2):
+            workload = distance_workload(data, 8, 0.005, metric=metric, seed=14)
+            k = int(np.ceil(0.005 * len(data)))
+            data64 = data.astype(np.float64)
+            for center, radius in zip(workload.centers, workload.radii):
+                hits = int((metric.distance_batch(data64, center) <= radius).sum())
+                assert k <= hits <= k + 25
+
+    def test_boxes_requires_box_kind(self):
+        data = uniform_dataset(100, 2, seed=15)
+        workload = distance_workload(data, 3, 0.05)
+        with pytest.raises(ValueError):
+            workload.boxes()
+
+    def test_workload_deterministic(self):
+        data = uniform_dataset(500, 3, seed=16)
+        a = range_workload(data, 5, 0.01, seed=17)
+        b = range_workload(data, 5, 0.01, seed=17)
+        assert np.array_equal(a.centers, b.centers)
+        assert np.array_equal(a.sides, b.sides)
+
+
+class TestNormalizeUnitCube:
+    def test_maps_to_unit_cube(self):
+        from repro.datasets import normalize_unit_cube
+
+        rng = np.random.default_rng(70)
+        raw = rng.normal(50.0, 20.0, (300, 5))
+        normed = normalize_unit_cube(raw)
+        assert normed.dtype == np.float32
+        assert normed.min() >= 0.0 and normed.max() <= 1.0
+        assert np.all(normed.max(axis=0) == pytest.approx(1.0))
+        assert np.all(normed.min(axis=0) == pytest.approx(0.0))
+
+    def test_preserves_order(self):
+        from repro.datasets import normalize_unit_cube
+
+        raw = np.array([[1.0], [5.0], [3.0]])
+        normed = normalize_unit_cube(raw)
+        assert np.array_equal(np.argsort(normed[:, 0]), np.argsort(raw[:, 0]))
+
+    def test_constant_dimension(self):
+        from repro.datasets import normalize_unit_cube
+
+        raw = np.array([[1.0, 7.0], [2.0, 7.0]])
+        normed = normalize_unit_cube(raw)
+        assert np.all(normed[:, 1] == 0.0)
+
+    def test_rejects_empty(self):
+        from repro.datasets import normalize_unit_cube
+
+        with pytest.raises(ValueError):
+            normalize_unit_cube(np.empty((0, 3)))

@@ -1,0 +1,162 @@
+"""Tests for the metric implementations and their box lower bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances import (
+    L1,
+    L2,
+    LINF,
+    LpMetric,
+    Metric,
+    QuadraticFormMetric,
+    UserMetric,
+    WeightedEuclidean,
+)
+
+POINT = st.lists(st.floats(-10, 10, width=32), min_size=4, max_size=4).map(np.array)
+
+
+class TestLpMetric:
+    def test_l1(self):
+        assert L1.distance(np.array([0, 0]), np.array([1, 2])) == 3.0
+
+    def test_l2(self):
+        assert L2.distance(np.array([0, 0]), np.array([3, 4])) == 5.0
+
+    def test_linf(self):
+        assert LINF.distance(np.array([0, 0]), np.array([3, 4])) == 4.0
+
+    def test_general_p(self):
+        m = LpMetric(3)
+        assert m.distance(np.array([0.0]), np.array([2.0])) == pytest.approx(2.0)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            LpMetric(0.5)
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((20, 5))
+        q = rng.random(5)
+        for metric in (L1, L2, LINF, LpMetric(3)):
+            batch = metric.distance_batch(pts, q)
+            scalar = [metric.distance(p, q) for p in pts]
+            assert np.allclose(batch, scalar)
+
+    def test_mindist_rect_inside_is_zero(self):
+        assert L2.mindist_rect(np.array([0.5, 0.5]), np.zeros(2), np.ones(2)) == 0.0
+
+    def test_mindist_rect_outside(self):
+        d = L2.mindist_rect(np.array([2.0, 0.5]), np.zeros(2), np.ones(2))
+        assert d == pytest.approx(1.0)
+
+    def test_equality_and_hash(self):
+        assert LpMetric(2) == L2
+        assert hash(LpMetric(1)) == hash(L1)
+        assert LpMetric(1) != LpMetric(2)
+
+    def test_protocol_conformance(self):
+        assert isinstance(L2, Metric)
+
+
+class TestWeightedEuclidean:
+    def test_reduces_to_l2_with_unit_weights(self):
+        m = WeightedEuclidean(np.ones(3))
+        a, b = np.array([0.0, 0, 0]), np.array([1.0, 2, 2])
+        assert m.distance(a, b) == pytest.approx(L2.distance(a, b))
+
+    def test_weights_scale_dimensions(self):
+        m = WeightedEuclidean(np.array([4.0, 0.0]))
+        assert m.distance(np.array([0.0, 0]), np.array([1.0, 5])) == pytest.approx(2.0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            WeightedEuclidean(np.array([1.0, -1.0]))
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        m = WeightedEuclidean(rng.random(4))
+        pts, q = rng.random((10, 4)), rng.random(4)
+        assert np.allclose(m.distance_batch(pts, q), [m.distance(p, q) for p in pts])
+
+
+class TestQuadraticForm:
+    def _matrix(self):
+        return np.array([[2.0, 0.5], [0.5, 1.0]])
+
+    def test_distance(self):
+        m = QuadraticFormMetric(self._matrix())
+        d = m.distance(np.array([0.0, 0]), np.array([1.0, 1]))
+        assert d == pytest.approx(np.sqrt(4.0))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            QuadraticFormMetric(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(ValueError):
+            QuadraticFormMetric(np.array([[1.0, 0.0], [0.0, -1.0]]))
+
+    def test_mindist_is_lower_bound(self):
+        rng = np.random.default_rng(2)
+        m = QuadraticFormMetric(self._matrix())
+        low, high = np.array([0.2, 0.2]), np.array([0.6, 0.9])
+        q = np.array([1.5, -0.5])
+        bound = m.mindist_rect(q, low, high)
+        samples = rng.uniform(low, high, size=(200, 2))
+        assert all(m.distance(q, s) >= bound - 1e-9 for s in samples)
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        m = QuadraticFormMetric(self._matrix())
+        pts, q = rng.random((10, 2)), rng.random(2)
+        assert np.allclose(m.distance_batch(pts, q), [m.distance(p, q) for p in pts])
+
+
+class TestUserMetric:
+    def test_wraps_callable(self):
+        m = UserMetric(lambda a, b: float(np.abs(a - b).sum()))
+        assert m.distance(np.array([0.0]), np.array([2.0])) == 2.0
+
+    def test_default_rect_bound_clamps(self):
+        m = UserMetric(lambda a, b: float(np.abs(a - b).sum()))
+        assert m.mindist_rect(np.array([2.0]), np.array([0.0]), np.array([1.0])) == 1.0
+
+    def test_custom_rect_bound(self):
+        m = UserMetric(lambda a, b: 42.0, rect_lower_bound=lambda q, lo, hi: 0.0)
+        assert m.mindist_rect(np.array([2.0]), np.array([0.0]), np.array([1.0])) == 0.0
+
+    def test_batch(self):
+        m = UserMetric(lambda a, b: float(np.max(np.abs(a - b))))
+        pts = np.array([[0.0], [3.0]])
+        assert m.distance_batch(pts, np.array([1.0])).tolist() == [1.0, 2.0]
+
+
+@settings(max_examples=100, deadline=None)
+@given(POINT, POINT)
+def test_property_symmetry(a, b):
+    for metric in (L1, L2, LINF, WeightedEuclidean(np.array([1.0, 2.0, 0.5, 3.0]))):
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a), abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(POINT, POINT, POINT)
+def test_property_triangle_inequality(a, b, c):
+    for metric in (L1, L2, LINF):
+        ab = metric.distance(a, b)
+        bc = metric.distance(b, c)
+        ac = metric.distance(a, c)
+        assert ac <= ab + bc + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(POINT, POINT, POINT)
+def test_property_mindist_lower_bounds_box_members(q, c1, c2):
+    """For any box and any member point, mindist_rect(q, box) <= d(q, p)."""
+    low, high = np.minimum(c1, c2), np.maximum(c1, c2)
+    member = (low + high) / 2.0
+    for metric in (L1, L2, LINF, WeightedEuclidean(np.array([1.0, 0.5, 2.0, 1.5]))):
+        assert metric.mindist_rect(q, low, high) <= metric.distance(q, member) + 1e-6

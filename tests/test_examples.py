@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs to completion.
+
+Marked ``slow`` — they build real indexes.  Deselect with ``-m "not slow"``.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, monkeypatch, tmp_path) -> None:
+    monkeypatch.chdir(tmp_path)  # scripts write temp files relative to /tmp
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+@pytest.mark.slow
+def test_quickstart_runs(monkeypatch, tmp_path, capsys):
+    _run("quickstart.py", monkeypatch, tmp_path)
+    out = capsys.readouterr().out
+    assert "built:" in out and "insert/delete ok" in out
+
+
+@pytest.mark.slow
+def test_polygon_retrieval_runs(monkeypatch, tmp_path, capsys):
+    _run("polygon_retrieval.py", monkeypatch, tmp_path)
+    out = capsys.readouterr().out
+    assert "nearest shapes" in out and "cold-start" in out
+
+
+@pytest.mark.slow
+def test_image_search_runs(monkeypatch, tmp_path, capsys):
+    _run("image_search.py", monkeypatch, tmp_path)
+    out = capsys.readouterr().out
+    assert "iteration 3" in out and "ingested 100 new images" in out
+
+
+@pytest.mark.slow
+def test_cost_model_tour_runs(monkeypatch, tmp_path, capsys):
+    _run("cost_model_tour.py", monkeypatch, tmp_path)
+    out = capsys.readouterr().out
+    assert "ELS  0 bits" in out
+
+
+def test_examples_exist_and_are_documented():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        source = (EXAMPLES / script).read_text()
+        assert source.lstrip().startswith('"""'), f"{script} lacks a docstring"
+        assert "def main()" in source, f"{script} lacks a main()"

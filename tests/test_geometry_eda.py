@@ -1,0 +1,112 @@
+"""Tests for the EDA split cost model and Minkowski probabilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.eda import (
+    best_split_dimension_data,
+    best_split_dimension_index,
+    data_split_eda_increase,
+    index_split_eda_increase,
+    index_split_eda_increase_integrated,
+)
+from repro.geometry.minkowski import minkowski_overlap_probability, minkowski_sum_rect
+from repro.geometry.rect import Rect
+
+
+class TestMinkowski:
+    def test_point_region_probability_is_query_volume(self):
+        # A zero-extent region is hit iff the query covers it.
+        p = minkowski_overlap_probability(np.zeros(3), 0.2)
+        assert p == pytest.approx(0.2**3)
+
+    def test_full_region_probability_is_one_clipped(self):
+        p = minkowski_overlap_probability(np.ones(2), 0.5, clip_to_unit_space=True)
+        assert p == 1.0
+
+    def test_unclipped_matches_paper_formula(self):
+        extents = np.array([0.3, 0.4])
+        assert minkowski_overlap_probability(extents, 0.1) == pytest.approx(0.4 * 0.5)
+
+    def test_rejects_negative_query(self):
+        with pytest.raises(ValueError):
+            minkowski_overlap_probability(np.ones(2), -0.1)
+
+    def test_minkowski_sum_rect(self):
+        grown = minkowski_sum_rect(Rect([0.4, 0.4], [0.6, 0.6]), 0.2)
+        assert np.allclose(grown.low, [0.3, 0.3])
+        assert np.allclose(grown.high, [0.7, 0.7])
+
+
+class TestDataSplitCost:
+    def test_formula(self):
+        assert data_split_eda_increase(0.4, 0.1) == pytest.approx(0.1 / 0.5)
+
+    def test_decreasing_in_extent(self):
+        costs = [data_split_eda_increase(s, 0.1) for s in (0.1, 0.2, 0.4, 0.8)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_max_extent_is_optimal(self):
+        extents = np.array([0.2, 0.7, 0.4])
+        assert best_split_dimension_data(extents) == 1
+        # Optimality holds for every query size (paper Section 3.2).
+        for r in (0.01, 0.1, 0.5):
+            costs = [data_split_eda_increase(s, r) for s in extents]
+            assert int(np.argmin(costs)) == 1
+
+    def test_zero_denominator(self):
+        assert data_split_eda_increase(0.0, 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            data_split_eda_increase(-1.0, 0.1)
+
+
+class TestIndexSplitCost:
+    def test_formula(self):
+        assert index_split_eda_increase(0.5, 0.1, 0.1) == pytest.approx(0.2 / 0.6)
+
+    def test_overlap_free_reduces_to_data_case(self):
+        assert index_split_eda_increase(0.5, 0.0, 0.1) == pytest.approx(
+            data_split_eda_increase(0.5, 0.1)
+        )
+
+    def test_full_overlap_costs_one(self):
+        assert index_split_eda_increase(0.5, 0.5, 0.1) == pytest.approx(1.0)
+
+    def test_best_dimension_prefers_low_overlap_ratio(self):
+        extents = np.array([0.5, 0.5])
+        overlaps = np.array([0.3, 0.05])
+        assert best_split_dimension_index(extents, overlaps, 0.1) == 1
+
+    def test_never_split_dimension_implicitly_eliminated(self):
+        # w == s means the dimension was never used below: cost exactly 1.
+        extents = np.array([0.5, 0.4])
+        overlaps = np.array([0.5, 0.1])
+        assert best_split_dimension_index(extents, overlaps, 0.2) == 1
+
+    def test_integrated_closed_form_matches_quadrature(self):
+        closed = index_split_eda_increase_integrated(0.5, 0.1, max_query_side=1.0)
+        quad = index_split_eda_increase_integrated(
+            0.5, 0.1, query_side_pdf=lambda r: np.ones_like(r), samples=20000
+        )
+        assert closed == pytest.approx(quad, rel=1e-4)
+
+    def test_integrated_rejects_bad_samples(self):
+        with pytest.raises(ValueError):
+            index_split_eda_increase_integrated(0.5, 0.1, samples=1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(0.01, 1.0),
+    st.floats(0.0, 1.0),
+    st.floats(0.001, 1.0),
+)
+def test_property_index_cost_bounded(extent, overlap_frac, r):
+    """(w + r)/(s + r) lies in (0, 1] whenever w <= s."""
+    overlap = extent * overlap_frac
+    cost = index_split_eda_increase(extent, overlap, r)
+    assert 0.0 < cost <= 1.0 + 1e-12

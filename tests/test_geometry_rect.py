@@ -1,0 +1,185 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+
+
+def rect_strategy(dims=3, lo=-10.0, hi=10.0):
+    """Random valid rects with finite float coordinates."""
+
+    def build(corners):
+        a = np.array(corners[0])
+        b = np.array(corners[1])
+        return Rect(np.minimum(a, b), np.maximum(a, b))
+
+    coord = st.floats(lo, hi, allow_nan=False, allow_infinity=False, width=32)
+    point = st.lists(coord, min_size=dims, max_size=dims)
+    return st.tuples(point, point).map(build)
+
+
+class TestConstruction:
+    def test_unit_cube(self):
+        r = Rect.unit(4)
+        assert r.dims == 4
+        assert r.volume() == 1.0
+        assert np.all(r.low == 0.0) and np.all(r.high == 1.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Rect([0.0, 1.0], [1.0, 0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Rect([0.0, 0.0], [1.0])
+
+    def test_from_points_is_tight(self):
+        pts = np.array([[0.1, 0.9], [0.5, 0.2], [0.3, 0.4]])
+        r = Rect.from_points(pts)
+        assert np.allclose(r.low, [0.1, 0.2])
+        assert np.allclose(r.high, [0.5, 0.9])
+
+    def test_from_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Rect.from_points(np.empty((0, 2)))
+
+    def test_merge_all(self):
+        r = Rect.merge_all([Rect([0, 0], [1, 1]), Rect([2, -1], [3, 0.5])])
+        assert np.allclose(r.low, [0, -1])
+        assert np.allclose(r.high, [3, 1])
+
+    def test_merge_all_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Rect.merge_all([])
+
+    def test_around_point(self):
+        r = Rect.around_point(np.array([0.5, 0.5]), 0.1)
+        assert np.allclose(r.low, [0.4, 0.4])
+        assert np.allclose(r.high, [0.6, 0.6])
+
+
+class TestMeasures:
+    def test_volume_and_margin(self):
+        r = Rect([0, 0, 0], [2, 3, 4])
+        assert r.volume() == 24.0
+        assert r.margin() == 9.0
+
+    def test_degenerate_volume(self):
+        r = Rect([1, 1], [1, 2])
+        assert r.volume() == 0.0
+
+    def test_center(self):
+        assert np.allclose(Rect([0, 2], [2, 4]).center, [1, 3])
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.contains_point(np.array([0.0, 1.0]))
+        assert not r.contains_point(np.array([1.0001, 0.5]))
+
+    def test_contains_rect(self):
+        outer = Rect([0, 0], [4, 4])
+        assert outer.contains_rect(Rect([1, 1], [2, 2]))
+        assert outer.contains_rect(outer)
+        assert not Rect([1, 1], [2, 2]).contains_rect(outer)
+
+    def test_intersects_shared_boundary(self):
+        assert Rect([0, 0], [1, 1]).intersects(Rect([1, 0], [2, 1]))
+
+    def test_disjoint(self):
+        assert not Rect([0, 0], [1, 1]).intersects(Rect([1.5, 0], [2, 1]))
+
+
+class TestCombination:
+    def test_intersection(self):
+        inter = Rect([0, 0], [2, 2]).intersection(Rect([1, 1], [3, 3]))
+        assert inter == Rect([1, 1], [2, 2])
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect([0, 0], [1, 1]).intersection(Rect([2, 2], [3, 3])) is None
+
+    def test_enlargement_zero_inside(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.enlargement(np.array([0.5, 0.5])) == 0.0
+        assert r.enlargement(np.array([2.0, 0.5])) > 0.0
+
+    def test_overlap_volume(self):
+        a = Rect([0, 0], [2, 2])
+        b = Rect([1, 1], [3, 3])
+        assert a.overlap_volume(b) == 1.0
+        assert a.overlap_volume(Rect([5, 5], [6, 6])) == 0.0
+
+    def test_clip_below_and_above(self):
+        r = Rect([0, 0], [4, 4])
+        assert r.clip_below(0, 1.5) == Rect([0, 0], [1.5, 4])
+        assert r.clip_above(1, 3.0) == Rect([0, 3], [4, 4])
+
+    def test_clip_clamps_out_of_range_bounds(self):
+        r = Rect([0, 0], [4, 4])
+        assert r.clip_below(0, 9.0) == r
+        assert r.clip_above(0, -3.0) == r
+        # Clipping below the low bound degenerates, never inverts.
+        assert r.clip_below(0, -1.0).extents[0] == 0.0
+
+
+class TestVectorized:
+    def test_contains_points_mask(self):
+        r = Rect([0, 0], [1, 1])
+        pts = np.array([[0.5, 0.5], [1.5, 0.5], [1.0, 1.0]])
+        assert r.contains_points_mask(pts).tolist() == [True, False, True]
+
+
+class TestDunder:
+    def test_eq_and_hash(self):
+        assert Rect([0, 0], [1, 1]) == Rect([0, 0], [1, 1])
+        assert hash(Rect([0, 0], [1, 1])) == hash(Rect([0, 0], [1, 1]))
+        assert Rect([0, 0], [1, 1]) != Rect([0, 0], [1, 2])
+
+    def test_repr_roundtrippable_values(self):
+        assert "Rect" in repr(Rect([0], [1]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(rect_strategy(), rect_strategy())
+def test_property_intersection_commutes(a, b):
+    ab = a.intersection(b)
+    ba = b.intersection(a)
+    assert (ab is None) == (ba is None)
+    if ab is not None:
+        assert ab == ba
+
+
+@settings(max_examples=100, deadline=None)
+@given(rect_strategy(), rect_strategy())
+def test_property_merge_contains_both(a, b):
+    m = a.merge(b)
+    assert m.contains_rect(a) and m.contains_rect(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rect_strategy(), rect_strategy())
+def test_property_intersection_within_both(a, b):
+    inter = a.intersection(b)
+    if inter is not None:
+        assert a.contains_rect(inter) and b.contains_rect(inter)
+        assert a.intersects(b)
+    else:
+        assert not a.intersects(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rect_strategy(), rect_strategy())
+def test_property_overlap_volume_bounded(a, b):
+    ov = a.overlap_volume(b)
+    assert 0.0 <= ov <= min(a.volume(), b.volume()) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(rect_strategy())
+def test_property_contains_implies_intersects(a):
+    assert a.intersects(a)
+    assert a.contains_rect(a)

@@ -1,0 +1,93 @@
+"""Tests for bounding spheres (SS/SR-tree substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.geometry.sphere import Sphere
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Sphere(np.array([0.0, 0.0]), 1.0)
+        assert s.dims == 2 and s.radius == 1.0
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            Sphere(np.array([0.0]), -0.1)
+
+    def test_from_points_covers_all(self):
+        pts = np.random.default_rng(0).random((50, 4))
+        s = Sphere.from_points(pts)
+        dists = np.linalg.norm(pts - s.center, axis=1)
+        assert np.all(dists <= s.radius + 1e-9)
+
+    def test_from_points_centroid(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        s = Sphere.from_points(pts)
+        assert np.allclose(s.center, [1.0, 0.0])
+        assert s.radius == pytest.approx(1.0)
+
+    def test_merge_all_covers_children(self):
+        a = Sphere(np.array([0.0, 0.0]), 1.0)
+        b = Sphere(np.array([4.0, 0.0]), 0.5)
+        m = Sphere.merge_all([a, b], weights=[3, 1])
+        for child in (a, b):
+            gap = np.linalg.norm(child.center - m.center) + child.radius
+            assert gap <= m.radius + 1e-9
+
+    def test_merge_all_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sphere.merge_all([])
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        s = Sphere(np.array([0.0, 0.0]), 1.0)
+        assert s.contains_point(np.array([0.6, 0.6]))
+        assert not s.contains_point(np.array([0.9, 0.9]))
+
+    def test_mindist_point(self):
+        s = Sphere(np.array([0.0, 0.0]), 1.0)
+        assert s.mindist_point(np.array([3.0, 0.0])) == pytest.approx(2.0)
+        assert s.mindist_point(np.array([0.2, 0.0])) == 0.0
+
+    def test_intersects_rect(self):
+        s = Sphere(np.array([0.0, 0.0]), 1.0)
+        assert s.intersects_rect(Rect([0.5, 0.5], [2, 2]))
+        assert not s.intersects_rect(Rect([2, 2], [3, 3]))
+
+    def test_intersects_sphere(self):
+        a = Sphere(np.array([0.0, 0.0]), 1.0)
+        assert a.intersects_sphere(Sphere(np.array([1.5, 0.0]), 0.6))
+        assert not a.intersects_sphere(Sphere(np.array([3.0, 0.0]), 0.5))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.floats(-5, 5, width=32), min_size=3, max_size=3),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_from_points_is_bounding(points):
+    pts = np.array(points)
+    s = Sphere.from_points(pts)
+    assert np.all(np.linalg.norm(pts - s.center, axis=1) <= s.radius + 1e-6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.floats(-5, 5, width=32), min_size=2, max_size=2),
+    st.floats(0, 3, width=32),
+    st.lists(st.floats(-5, 5, width=32), min_size=2, max_size=2),
+)
+def test_property_mindist_lower_bounds_members(center, radius, probe):
+    """mindist to the ball never exceeds the distance to any member point."""
+    s = Sphere(np.array(center), float(radius))
+    probe = np.array(probe)
+    # The centre is a member of the ball.
+    assert s.mindist_point(probe) <= np.linalg.norm(probe - s.center) + 1e-9

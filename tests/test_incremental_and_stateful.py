@@ -1,0 +1,158 @@
+"""Distance browsing, range counting, and a stateful fuzz of the tree."""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core import HybridTree
+from repro.datasets import clustered_dataset
+from repro.distances import L1, L2
+from repro.geometry.rect import Rect
+from tests.conftest import brute_force_range, random_boxes
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_dataset(2500, 6, clusters=8, seed=77)
+
+
+@pytest.fixture(scope="module")
+def tree(data):
+    t = HybridTree(6)
+    for oid, v in enumerate(data):
+        t.insert(v, oid)
+    return t
+
+
+class TestNearestIter:
+    def test_yields_in_distance_order(self, tree, data, rng):
+        q = rng.random(6)
+        dists = [d for _, d in zip(range(200), ())]  # placeholder
+        out = []
+        for (oid, dist), _ in zip(tree.nearest_iter(q, L2), range(200)):
+            out.append(dist)
+        assert out == sorted(out)
+
+    def test_prefix_equals_knn(self, tree, data, rng):
+        for metric in (L1, L2):
+            q = rng.random(6)
+            browsed = []
+            for (oid, dist), _ in zip(tree.nearest_iter(q, metric), range(15)):
+                browsed.append(dist)
+            knn = [d for _, d in tree.knn(q, 15, metric)]
+            assert np.allclose(browsed, knn, atol=1e-9)
+
+    def test_full_exhaustion(self, data):
+        small = HybridTree(6)
+        for oid, v in enumerate(data[:300]):
+            small.insert(v, oid)
+        results = list(small.nearest_iter(np.full(6, 0.5), L2))
+        assert len(results) == 300
+        assert {oid for oid, _ in results} == set(range(300))
+
+    def test_lazy_io(self, tree, data, rng):
+        """Stopping early must not traverse the whole tree."""
+        q = data[3].astype(np.float64)
+        tree.io.reset()
+        for _ in zip(tree.nearest_iter(q, L2), range(5)):
+            pass
+        assert tree.io.random_reads < tree.pages() / 2
+
+
+class TestCountRange:
+    def test_matches_range_search(self, tree, data, rng):
+        for query in random_boxes(rng, 6, 10):
+            assert tree.count_range(query) == len(brute_force_range(data, query))
+
+    def test_same_io_as_range_search(self, tree, rng):
+        query = random_boxes(rng, 6, 1)[0]
+        tree.io.reset()
+        tree.range_search(query)
+        io_search = tree.io.random_reads
+        tree.io.reset()
+        tree.count_range(query)
+        assert tree.io.random_reads == io_search
+
+    def test_dim_mismatch(self, tree):
+        with pytest.raises(ValueError):
+            tree.count_range(Rect.unit(3))
+
+
+class HybridTreeMachine(RuleBasedStateMachine):
+    """Stateful fuzz: the tree must always agree with a dict reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.rng = np.random.default_rng(0)
+
+    @initialize()
+    def setup(self):
+        self.tree = HybridTree(3, els_bits=4)
+        self.reference: dict[int, np.ndarray] = {}
+        self.next_oid = 0
+
+    @rule(x=st.floats(0, 1, width=32), y=st.floats(0, 1, width=32),
+          z=st.floats(0, 1, width=32))
+    def insert_point(self, x, y, z):
+        v = np.array([x, y, z], dtype=np.float32)
+        self.tree.insert(v, self.next_oid)
+        self.reference[self.next_oid] = v
+        self.next_oid += 1
+
+    @rule(count=st.integers(1, 30))
+    def insert_batch(self, count):
+        for _ in range(count):
+            v = self.rng.random(3).astype(np.float32)
+            self.tree.insert(v, self.next_oid)
+            self.reference[self.next_oid] = v
+            self.next_oid += 1
+
+    @rule()
+    def delete_random(self):
+        if not self.reference:
+            return
+        oid = int(self.rng.choice(list(self.reference)))
+        assert self.tree.delete(self.reference[oid], oid)
+        del self.reference[oid]
+
+    @rule()
+    def delete_missing(self):
+        assert not self.tree.delete(np.array([0.123, 0.456, 0.789]), 10**9)
+
+    @rule(lo=st.floats(0, 0.75, width=32), side=st.floats(0.0625, 0.25, width=32))
+    def check_range_query(self, lo, side):
+        box = Rect(np.full(3, lo), np.full(3, min(1.0, lo + side)))
+        expected = {
+            oid
+            for oid, v in self.reference.items()
+            if box.contains_point(v.astype(np.float64))
+        }
+        assert set(self.tree.range_search(box)) == expected
+        assert self.tree.count_range(box) == len(expected)
+
+    @rule()
+    def check_knn(self):
+        if len(self.reference) < 3:
+            return
+        q = self.rng.random(3)
+        got = self.tree.knn(q, 3, L1)
+        rows = np.array([v for v in self.reference.values()], dtype=np.float64)
+        expected = np.sort(np.abs(rows - q).sum(axis=1))[:3]
+        assert np.allclose([d for _, d in got], expected, atol=1e-6)
+
+    @invariant()
+    def size_agrees(self):
+        if hasattr(self, "tree"):
+            assert len(self.tree) == len(self.reference)
+
+    def teardown(self):
+        if hasattr(self, "tree") and len(self.tree):
+            self.tree.validate()
+
+
+TestHybridTreeStateful = HybridTreeMachine.TestCase
+TestHybridTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

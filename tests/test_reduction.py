@@ -1,0 +1,138 @@
+"""Tests for the PCA / reduced-index subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import colhist_dataset, uniform_dataset
+from repro.distances import L1, L2
+from repro.reduction import PCA, ReducedIndex
+from tests.conftest import brute_force_distance_range, brute_force_knn_dists
+
+
+def correlated_data(n=3000, latent=4, dims=24, noise=0.02, seed=1):
+    rng = np.random.default_rng(seed)
+    basis = rng.random((latent, dims))
+    return (rng.random((n, latent)) @ basis + rng.normal(0, noise, (n, dims))).astype(
+        np.float32
+    )
+
+
+class TestPCA:
+    def test_orthonormal_components(self):
+        pca = PCA(correlated_data())
+        gram = pca.components @ pca.components.T
+        assert np.allclose(gram, np.eye(pca.dims), atol=1e-8)
+
+    def test_transform_preserves_distances(self):
+        data = correlated_data(n=200)
+        pca = PCA(data)
+        full = pca.transform(data)
+        d_orig = np.linalg.norm(data[0].astype(np.float64) - data[1])
+        d_rot = np.linalg.norm(full[0] - full[1])
+        assert d_rot == pytest.approx(d_orig, rel=1e-6)
+
+    def test_prefix_is_contractive(self):
+        data = correlated_data(n=200)
+        pca = PCA(data)
+        full = pca.transform(data)
+        for m in (1, 3, 8):
+            reduced = full[:, :m]
+            d_red = np.linalg.norm(reduced[0] - reduced[1])
+            d_full = np.linalg.norm(full[0] - full[1])
+            assert d_red <= d_full + 1e-9
+
+    def test_energy_monotone_and_bounded(self):
+        pca = PCA(correlated_data())
+        energies = [pca.energy(m) for m in range(1, pca.dims + 1)]
+        assert all(0 <= e <= 1 + 1e-12 for e in energies)
+        assert energies == sorted(energies)
+        assert energies[-1] == pytest.approx(1.0)
+
+    def test_correlated_data_compresses(self):
+        pca = PCA(correlated_data(latent=4))
+        assert pca.dims_for_energy(0.95) <= 5
+
+    def test_uncorrelated_data_does_not(self):
+        pca = PCA(uniform_dataset(2000, 16, seed=2))
+        assert pca.dims_for_energy(0.95) >= 12
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            PCA(np.zeros((1, 4)))
+        pca = PCA(correlated_data(n=50))
+        with pytest.raises(ValueError):
+            pca.energy(0)
+        with pytest.raises(ValueError):
+            pca.dims_for_energy(0.0)
+
+
+class TestReducedIndex:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return correlated_data(n=2500, dims=20)
+
+    @pytest.fixture(scope="class")
+    def index(self, data):
+        return ReducedIndex(data, energy_target=0.99)
+
+    def test_reduced_dims_small_on_correlated(self, index):
+        assert index.reduced_dims <= 6
+        assert index.energy() >= 0.99
+
+    def test_distance_range_exact(self, index, data, rng):
+        for _ in range(5):
+            q = data[int(rng.integers(len(data)))].astype(np.float64)
+            r = float(rng.uniform(0.1, 0.6))
+            got = {o for o, _ in index.distance_range(q, r)}
+            assert got == brute_force_distance_range(data, q, r, L2)
+
+    def test_knn_exact(self, index, data, rng):
+        for _ in range(5):
+            q = data[int(rng.integers(len(data)))].astype(np.float64)
+            got = index.knn(q, 7)
+            expected = brute_force_knn_dists(data, q, 7, L2)
+            assert np.allclose([d for _, d in got], expected, atol=1e-5)
+
+    def test_rejects_arbitrary_metric(self, index):
+        with pytest.raises(ValueError):
+            index.knn(np.zeros(20), 3, metric=L1)
+
+    def test_rejects_box_queries(self, index):
+        with pytest.raises(TypeError):
+            index.range_search(None)
+
+    def test_insert_projects_onto_frozen_basis(self, data):
+        index = ReducedIndex(data[:500], energy_target=0.99)
+        new_oid = index.insert(data[600])
+        assert new_oid == 500
+        q = data[600].astype(np.float64)
+        assert index.knn(q, 1)[0][0] == 500
+
+    def test_insert_rejects_custom_oid(self, data):
+        index = ReducedIndex(data[:100], energy_target=0.9)
+        with pytest.raises(ValueError):
+            index.insert(data[0], oid=5)
+
+    def test_refit(self, data):
+        index = ReducedIndex(data[:300], energy_target=0.99)
+        for row in data[300:340]:
+            index.insert(row)
+        rebuilt = index.refit(energy_target=0.99)
+        assert len(rebuilt) == 340
+
+    def test_explicit_reduced_dims(self, data):
+        index = ReducedIndex(data, reduced_dims=2)
+        assert index.reduced_dims == 2
+        q = data[1].astype(np.float64)
+        got = {o for o, _ in index.distance_range(q, 0.3)}
+        assert got == brute_force_distance_range(data, q, 0.3, L2)
+
+    def test_weak_correlation_keeps_many_dims(self):
+        histograms = colhist_dataset(1500, 64, seed=5)
+        index = ReducedIndex(histograms, energy_target=0.95)
+        assert index.reduced_dims > 16  # the paper's limitation 1
+
+    def test_io_accounts_verification(self, index, data):
+        index.io.reset()
+        index.knn(data[9].astype(np.float64), 5)
+        assert index.io.random_reads > 0

@@ -1,0 +1,209 @@
+"""Tests for tree statistics, normalized costs, the harness and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import HybridTree, compute_stats
+from repro.datasets import colhist_dataset, range_workload, uniform_dataset
+from repro.datasets.workload import QueryWorkload, distance_workload
+from repro.distances import L1
+from repro.eval import build_index, normalized_cpu_cost, normalized_io_cost, render_table
+from repro.eval.harness import INDEX_KINDS, run_workload
+from repro.storage.iostats import AccessKind, IOStats
+
+
+class TestStats:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        data = colhist_dataset(4000, 32, seed=40)
+        tree = HybridTree(32)
+        for oid, v in enumerate(data):
+            tree.insert(v, oid)
+        return tree
+
+    def test_counts_consistent(self, tree):
+        stats = compute_stats(tree)
+        assert stats.count == len(tree)
+        assert stats.height == tree.height
+        assert stats.num_data_nodes + stats.num_index_nodes <= stats.pages
+
+    def test_fanout_and_utilization_ranges(self, tree):
+        stats = compute_stats(tree)
+        assert 2 <= stats.avg_index_fanout <= tree.index_capacity
+        assert 0.3 <= stats.min_data_utilization <= 1.0
+        assert stats.max_index_fanout <= tree.index_capacity
+
+    def test_overlap_fraction_range(self, tree):
+        stats = compute_stats(tree)
+        assert 0.0 <= stats.overlap_fraction <= 1.0
+
+    def test_split_dims_subset(self, tree):
+        stats = compute_stats(tree)
+        assert stats.split_dims_used <= set(range(32))
+        assert len(stats.split_dims_used) >= 1
+
+    def test_els_memory_reported(self, tree):
+        stats = compute_stats(tree)
+        assert stats.els_memory_bytes == tree.els.memory_bytes > 0
+
+    def test_empty_tree_stats(self):
+        stats = compute_stats(HybridTree(4))
+        assert stats.count == 0 and stats.num_data_nodes == 1
+
+
+class TestCosts:
+    def test_normalized_io(self):
+        io = IOStats()
+        io.record(AccessKind.RANDOM_READ, 30)
+        assert normalized_io_cost(io, 300) == pytest.approx(0.1)
+
+    def test_normalized_io_sequential_discount(self):
+        io = IOStats()
+        io.record(AccessKind.SEQUENTIAL_READ, 300)
+        assert normalized_io_cost(io, 300) == pytest.approx(0.1)
+
+    def test_normalized_io_rejects_zero_pages(self):
+        with pytest.raises(ValueError):
+            normalized_io_cost(IOStats(), 0)
+
+    def test_normalized_cpu(self):
+        assert normalized_cpu_cost(0.5, 2.0) == 0.25
+        with pytest.raises(ValueError):
+            normalized_cpu_cost(1.0, 0.0)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return colhist_dataset(2500, 16, seed=41)
+
+    def test_build_index_all_kinds(self, data):
+        for kind in INDEX_KINDS:
+            index = build_index(kind, data[:400])
+            assert len(index) == 400, kind
+
+    def test_build_index_rejects_unknown(self, data):
+        with pytest.raises(ValueError):
+            build_index("btree", data)
+
+    def test_run_box_workload(self, data):
+        workload = range_workload(data, 5, 0.01, seed=42)
+        index = build_index("hybrid", data, build="bulk")
+        result = run_workload(index, data, workload, kind="hybrid")
+        assert result.num_queries == 5
+        assert result.avg_disk_accesses > 0
+        assert result.avg_result_count >= 1
+        assert result.normalized_io > 0
+        row = result.row(dims=16)
+        assert row["method"] == "hybrid" and row["dims"] == 16
+
+    def test_run_distance_workload(self, data):
+        workload = distance_workload(data, 4, 0.01, metric=L1, seed=43)
+        index = build_index("hybrid", data, build="bulk")
+        result = run_workload(index, data, workload, kind="hybrid")
+        assert result.avg_result_count >= 0.01 * len(data) - 1
+
+    def test_scan_normalizes_to_point_one(self, data):
+        workload = range_workload(data, 4, 0.01, seed=44)
+        scan = build_index("scan", data)
+        result = run_workload(scan, data, workload, kind="scan")
+        assert result.normalized_io == pytest.approx(0.1)
+
+    def test_unknown_workload_kind_rejected(self, data):
+        index = build_index("scan", data)
+        bogus = QueryWorkload(kind="weird", centers=data[:2].astype(np.float64))
+        with pytest.raises(ValueError):
+            run_workload(index, data, bogus)
+
+    def test_vam_build_differs(self, data):
+        eda = build_index("hybrid", data[:1500])
+        vam = build_index("hybrid-vam", data[:1500])
+        assert eda.split_policy == "eda" and vam.split_policy == "vam"
+
+
+class TestReport:
+    def test_render_basic(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": "z", "c": 3.5}]
+        text = render_table(rows, "Title")
+        assert "Title" in text
+        assert "222" in text and "3.5" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[1:] if line}) <= 2  # aligned
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([], "T")
+
+    def test_render_missing_keys_blank(self):
+        text = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+
+class TestFigureDrivers:
+    """Smoke tests at miniature scale: drivers run end-to-end and return
+    well-formed rows.  The real shapes are asserted by benchmarks/."""
+
+    def test_fig5_smoke(self):
+        from repro.eval.figures import fig5_eda_vs_vam
+
+        rows = fig5_eda_vs_vam(dims_list=(16,), count=600, num_queries=4)
+        assert {r["method"] for r in rows} == {"hybrid", "hybrid-vam"}
+
+    def test_fig5c_smoke(self):
+        from repro.eval.figures import fig5c_els
+
+        rows = fig5c_els(bits_list=(0, 4), dims_list=(16,), count=600, num_queries=4)
+        assert len(rows) == 2
+        assert rows[0]["els_bits"] == 0 and rows[1]["els_bits"] == 4
+
+    def test_fig6_smoke(self):
+        from repro.eval.figures import fig6_dimensionality
+
+        rows = fig6_dimensionality(
+            "colhist", dims_list=(16,), count=800, num_queries=3,
+            methods=("hybrid", "scan"),
+        )
+        scan_row = next(r for r in rows if r["method"] == "scan")
+        assert scan_row["norm_io"] == pytest.approx(0.1)
+
+    def test_fig6_rejects_unknown_dataset(self):
+        from repro.eval.figures import fig6_dimensionality
+
+        with pytest.raises(ValueError):
+            fig6_dimensionality("tpch")
+
+    def test_fig7_distance_smoke(self):
+        from repro.eval.figures import fig7_distance
+
+        rows = fig7_distance(
+            dims_list=(16,), count=700, num_queries=3, methods=("hybrid",)
+        )
+        assert rows[0]["metric"] == "L1"
+
+    def test_lemma1_smoke(self):
+        from repro.eval.figures import lemma1_dimension_elimination
+
+        rows = lemma1_dimension_elimination(
+            base_dims=16, extra_dims_list=(0, 4), count=800, num_queries=3
+        )
+        assert all(r["padded_dims_used"] == 0 for r in rows)
+
+    def test_approx_knn_smoke(self):
+        from repro.eval.figures import ext_approximate_knn
+
+        rows = ext_approximate_knn(
+            dims=16, count=800, num_queries=4, k=5, factors=(0.0, 1.0)
+        )
+        assert rows[0]["recall"] == 1.0
+        assert rows[1]["kth_dist_ratio"] <= 2.0 + 1e-9
+
+
+def test_uniform_dataset_harness_end_to_end():
+    """Tiny end-to-end sanity run across three structures."""
+    data = uniform_dataset(900, 6, seed=45)
+    workload = range_workload(data, 4, 0.01, seed=46)
+    results = {}
+    for kind in ("hybrid", "rtree", "scan"):
+        index = build_index(kind, data)
+        results[kind] = run_workload(index, data, workload, kind=kind)
+    counts = {r.avg_result_count for r in results.values()}
+    assert len(counts) == 1  # everyone returns the same answers

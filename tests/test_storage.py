@@ -1,0 +1,398 @@
+"""Tests for the paged storage substrate."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    DEFAULT_PAGE_SIZE,
+    FilePageStore,
+    InMemoryPageStore,
+    IOStats,
+    LRUBufferPool,
+    NodeManager,
+    PageLayout,
+    data_node_capacity,
+    kdtree_node_capacity,
+    rtree_node_capacity,
+    srtree_node_capacity,
+    sstree_node_capacity,
+)
+from repro.storage.iostats import SEQUENTIAL_SPEEDUP, AccessKind
+from repro.storage.page import sequential_scan_pages
+
+
+class TestPageLayout:
+    def test_usable(self):
+        assert PageLayout().usable == DEFAULT_PAGE_SIZE - 32
+
+    def test_rejects_tiny_pages(self):
+        with pytest.raises(ValueError):
+            PageLayout(page_size=16)
+
+    def test_data_capacity_paper_values(self):
+        # 4K pages: ~59 16-d entries, ~15 64-d entries (float32 + oid).
+        assert data_node_capacity(16) == (4096 - 32) // (16 * 4 + 4)
+        assert data_node_capacity(64) == (4096 - 32) // (64 * 4 + 4)
+        assert data_node_capacity(64) == 15
+
+    def test_data_capacity_rejects_absurd_dims(self):
+        with pytest.raises(ValueError):
+            data_node_capacity(10_000)
+
+    def test_kdtree_fanout_dimension_independent(self):
+        caps = {kdtree_node_capacity(d) for d in (2, 16, 64, 256)}
+        assert len(caps) == 1
+        assert caps.pop() > 100  # "high fanout"
+
+    def test_rtree_fanout_shrinks_linearly(self):
+        assert rtree_node_capacity(64) < rtree_node_capacity(16) / 2
+
+    def test_srtree_fanout_smallest(self):
+        for dims in (16, 32, 64):
+            assert srtree_node_capacity(dims) < sstree_node_capacity(dims)
+            assert srtree_node_capacity(dims) < rtree_node_capacity(dims)
+        assert srtree_node_capacity(64) <= 6  # the paper-era collapse
+
+    def test_sequential_scan_pages(self):
+        per_page = data_node_capacity(16)
+        assert sequential_scan_pages(per_page, 16) == 1
+        assert sequential_scan_pages(per_page + 1, 16) == 2
+
+
+class TestIOStats:
+    def test_record_and_totals(self):
+        io = IOStats()
+        io.record(AccessKind.RANDOM_READ, 3)
+        io.record(AccessKind.SEQUENTIAL_READ, 10)
+        io.record(AccessKind.RANDOM_WRITE)
+        assert io.total_accesses == 14
+        assert io.random_accesses == 4
+        assert io.sequential_accesses == 10
+
+    def test_weighted_cost_sequential_discount(self):
+        io = IOStats()
+        io.record(AccessKind.SEQUENTIAL_READ, 10)
+        assert io.weighted_cost() == pytest.approx(10 / SEQUENTIAL_SPEEDUP)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IOStats().record(AccessKind.RANDOM_READ, -1)
+
+    def test_checkpoint_delta(self):
+        io = IOStats()
+        io.record(AccessKind.RANDOM_READ, 5)
+        io.checkpoint()
+        io.record(AccessKind.RANDOM_READ, 2)
+        io.record(AccessKind.SEQUENTIAL_WRITE, 1)
+        delta = io.since_checkpoint()
+        assert delta.random_reads == 2 and delta.sequential_writes == 1
+
+    def test_since_checkpoint_requires_checkpoint(self):
+        with pytest.raises(RuntimeError):
+            IOStats().since_checkpoint()
+
+    def test_nested_checkpoints(self):
+        io = IOStats()
+        io.checkpoint()
+        io.record(AccessKind.RANDOM_READ)
+        io.checkpoint()
+        io.record(AccessKind.RANDOM_READ, 2)
+        assert io.since_checkpoint().random_reads == 2
+        assert io.since_checkpoint().random_reads == 3
+
+    def test_reset(self):
+        io = IOStats()
+        io.record(AccessKind.RANDOM_READ)
+        io.reset()
+        assert io.total_accesses == 0
+
+
+class TestInMemoryPageStore:
+    def test_allocate_read_write(self):
+        store = InMemoryPageStore()
+        pid = store.allocate()
+        store.write(pid, b"hello")
+        assert store.read(pid).startswith(b"hello")
+        assert store.stats.random_reads == 1 and store.stats.random_writes == 1
+
+    def test_unallocated_read_raises(self):
+        with pytest.raises(KeyError):
+            InMemoryPageStore().read(0)
+
+    def test_overflow_rejected(self):
+        store = InMemoryPageStore(page_size=8)
+        pid = store.allocate()
+        with pytest.raises(ValueError):
+            store.write(pid, b"123456789")
+
+    def test_free_recycles(self):
+        store = InMemoryPageStore()
+        a = store.allocate()
+        store.free(a)
+        assert store.allocate() == a
+        assert store.allocated_pages == 1
+
+    def test_ensure_allocated(self):
+        store = InMemoryPageStore()
+        store.ensure_allocated(5)
+        store.write(5, b"x")
+        assert store.read(5)[0:1] == b"x"
+
+
+class TestFilePageStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        with FilePageStore(path, page_size=64) as store:
+            a = store.allocate()
+            b = store.allocate()
+            store.write(a, b"alpha")
+            store.write(b, b"beta")
+            store.flush()
+        with FilePageStore(path, page_size=64) as store:
+            assert store.allocated_pages == 2
+            assert store.read(0).startswith(b"alpha")
+            assert store.read(1).startswith(b"beta")
+
+    def test_short_page_padded(self, tmp_path):
+        with FilePageStore(tmp_path / "p.bin", page_size=32) as store:
+            pid = store.allocate()
+            store.write(pid, b"x")
+            assert len(store.read(pid)) == 32
+
+
+class TestBufferPool:
+    def test_hit_and_miss_accounting(self):
+        store = InMemoryPageStore()
+        pids = [store.allocate() for _ in range(3)]
+        for pid in pids:
+            store.write(pid, bytes([pid]))
+        store.stats.reset()
+        pool = LRUBufferPool(store, capacity=2)
+        pool.read(pids[0])
+        pool.read(pids[0])
+        assert pool.hits == 1 and pool.misses == 1
+        assert store.stats.random_reads == 1  # hit not charged
+
+    def test_lru_eviction_writes_back_dirty(self):
+        store = InMemoryPageStore()
+        pids = [store.allocate() for _ in range(3)]
+        pool = LRUBufferPool(store, capacity=2)
+        pool.write(pids[0], b"a")
+        pool.write(pids[1], b"b")
+        pool.write(pids[2], b"c")  # evicts pids[0], which is dirty
+        assert store.read(pids[0]).startswith(b"a")
+
+    def test_flush(self):
+        store = InMemoryPageStore()
+        pid = store.allocate()
+        pool = LRUBufferPool(store, capacity=2)
+        pool.write(pid, b"z")
+        pool.flush()
+        assert store.read(pid).startswith(b"z")
+
+    def test_invalidate(self):
+        store = InMemoryPageStore()
+        pid = store.allocate()
+        pool = LRUBufferPool(store, capacity=2)
+        pool.write(pid, b"z")
+        pool.invalidate(pid)
+        assert len(pool) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUBufferPool(InMemoryPageStore(), 0)
+
+    def test_hit_rate(self):
+        store = InMemoryPageStore()
+        pid = store.allocate()
+        store.write(pid, b"")
+        pool = LRUBufferPool(store, capacity=1)
+        assert pool.hit_rate == 0.0
+        pool.read(pid)
+        pool.read(pid)
+        assert pool.hit_rate == 0.5
+
+
+class TestNodeManager:
+    def test_get_charges_one_read(self):
+        nm = NodeManager()
+        pid = nm.allocate()
+        nm.put(pid, "node", charge=False)
+        nm.stats.reset()
+        assert nm.get(pid) == "node"
+        assert nm.stats.random_reads == 1
+
+    def test_uncharged_get(self):
+        nm = NodeManager()
+        pid = nm.allocate()
+        nm.put(pid, "node", charge=False)
+        nm.stats.reset()
+        nm.get(pid, charge=False)
+        assert nm.stats.total_accesses == 0
+
+    def test_missing_node_without_codec(self):
+        nm = NodeManager()
+        pid = nm.allocate()
+        with pytest.raises(KeyError):
+            nm.get(pid)
+
+    def test_flush_requires_codec(self):
+        nm = NodeManager()
+        pid = nm.allocate()
+        nm.put(pid, "x")
+        with pytest.raises(RuntimeError):
+            nm.flush()
+
+    def test_evict_all_guards_dirty(self):
+        nm = NodeManager()
+        pid = nm.allocate()
+        nm.put(pid, "x")
+        with pytest.raises(RuntimeError):
+            nm.evict_all()
+
+    def test_free_drops_cache(self):
+        nm = NodeManager()
+        pid = nm.allocate()
+        nm.put(pid, "x")
+        nm.free(pid)
+        assert nm.cached_nodes == 0
+
+
+class TestHybridNodeCodec:
+    def test_data_node_round_trip(self):
+        from repro.core.nodes import DataNode
+        from repro.storage.serialization import HybridNodeCodec
+
+        rng = np.random.default_rng(0)
+        codec = HybridNodeCodec(dims=8, data_capacity=20)
+        node = DataNode(8, 20)
+        for i in range(13):
+            node.add(rng.random(8).astype(np.float32), i * 7)
+        decoded = codec.decode(codec.encode(node))
+        assert decoded.count == 13
+        assert np.array_equal(decoded.points(), node.points())
+        assert np.array_equal(decoded.live_oids(), node.live_oids())
+
+    def test_index_node_round_trip(self):
+        from repro.core.kdnodes import KDInternal, KDLeaf
+        from repro.core.nodes import IndexNode
+        from repro.storage.serialization import HybridNodeCodec
+
+        codec = HybridNodeCodec(dims=4, data_capacity=10)
+        kd = KDInternal(
+            2, 0.75, 0.5, KDLeaf(7), KDInternal(0, 0.25, 0.25, KDLeaf(9), KDLeaf(11))
+        )
+        node = IndexNode(kd, level=3)
+        decoded = codec.decode(codec.encode(node))
+        assert decoded.level == 3
+        assert decoded.child_ids() == [7, 9, 11]
+        assert decoded.kd_root.dim == 2
+        assert decoded.kd_root.lsp == pytest.approx(0.75)
+        assert decoded.kd_root.rsp == pytest.approx(0.5)
+
+    def test_oversized_node_rejected(self):
+        from repro.core.nodes import DataNode
+        from repro.storage.serialization import HybridNodeCodec
+
+        codec = HybridNodeCodec(dims=64, data_capacity=64, page_size=4096)
+        node = DataNode(64, 64)  # deliberately beyond the 4K budget
+        for i in range(64):
+            node.add(np.zeros(64, dtype=np.float32), i)
+        with pytest.raises(ValueError):
+            codec.encode(node)
+
+    def test_unknown_kind_rejected(self):
+        from repro.storage.serialization import HybridNodeCodec
+
+        with pytest.raises(ValueError):
+            HybridNodeCodec(2, 4).decode(b"\x99\x00\x00\x00")
+
+    def test_full_capacity_nodes_fit_page(self):
+        """The capacity model must never admit a node that cannot be packed."""
+        from repro.core.kdnodes import KDInternal, KDLeaf
+        from repro.core.nodes import DataNode, IndexNode
+        from repro.storage.serialization import HybridNodeCodec
+
+        for dims in (2, 16, 64):
+            codec = HybridNodeCodec(dims, data_node_capacity(dims))
+            full = DataNode(dims, data_node_capacity(dims))
+            for i in range(full.capacity):
+                full.add(np.zeros(dims, dtype=np.float32), i)
+            assert len(codec.encode(full)) <= 4096
+
+        # Balanced kd-tree with the maximum number of leaves.
+        cap = kdtree_node_capacity(16)
+
+        def build(lo, hi):
+            if hi - lo == 1:
+                return KDLeaf(lo)
+            mid = (lo + hi) // 2
+            return KDInternal(0, 0.5, 0.5, build(lo, mid), build(mid, hi))
+
+        codec = HybridNodeCodec(16, data_node_capacity(16))
+        node = IndexNode(build(0, cap), level=1)
+        assert len(codec.encode(node)) <= 4096
+
+
+class TestBoundedNodeManager:
+    def _saved_tree(self, tmp_path):
+        from repro.core import HybridTree
+        from repro.datasets import uniform_dataset
+        from repro.geometry.rect import Rect
+
+        data = uniform_dataset(1500, 6, seed=70)
+        tree = HybridTree(6)
+        for oid, v in enumerate(data):
+            tree.insert(v, oid)
+        path = str(tmp_path / "t.pages")
+        tree.save(path)
+        return path, tree, Rect([0.2] * 6, [0.8] * 6)
+
+    def test_requires_codec(self):
+        with pytest.raises(ValueError):
+            NodeManager(max_cached=4)
+
+    def test_rejects_zero_capacity(self):
+        from repro.storage.serialization import HybridNodeCodec
+
+        with pytest.raises(ValueError):
+            NodeManager(codec=HybridNodeCodec(2, 8), max_cached=0)
+
+    def test_eviction_bounds_cache(self, tmp_path):
+        from repro.core import HybridTree
+
+        path, tree, box = self._saved_tree(tmp_path)
+        reopened = HybridTree.open(path, buffer_pages=8)
+        reopened.range_search(box)
+        assert reopened.nm.cached_nodes <= 8
+
+    def test_results_identical_under_pressure(self, tmp_path):
+        from repro.core import HybridTree
+
+        path, tree, box = self._saved_tree(tmp_path)
+        cold = HybridTree.open(path)
+        tight = HybridTree.open(path, buffer_pages=4)
+        assert set(tight.range_search(box)) == set(cold.range_search(box))
+
+    def test_warm_hits_are_free(self, tmp_path):
+        from repro.core import HybridTree
+
+        path, tree, box = self._saved_tree(tmp_path)
+        buffered = HybridTree.open(path, buffer_pages=10_000)
+        buffered.range_search(box)
+        buffered.io.reset()
+        buffered.range_search(box)
+        assert buffered.io.random_reads == 0  # fully cached: no faults
+
+    def test_dirty_eviction_writes_back(self, tmp_path):
+        from repro.core import HybridTree
+        from repro.geometry.rect import Rect
+        import numpy as np
+
+        path, tree, box = self._saved_tree(tmp_path)
+        small = HybridTree.open(path, buffer_pages=6)
+        v = np.full(6, 0.5, dtype=np.float32)
+        small.insert(v, 999_999)
+        # Thrash the cache so the dirty page is evicted and re-read.
+        small.range_search(Rect.unit(6))
+        assert 999_999 in small.point_search(v)
