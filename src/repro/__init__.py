@@ -29,14 +29,17 @@ from repro.distances import (
     UserMetric,
     WeightedEuclidean,
 )
+from repro.engine import BatchMetrics, QuerySession
 from repro.geometry import Rect, Sphere
 from repro.storage import IOStats
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchMetrics",
     "HybridTree",
     "IOStats",
+    "QuerySession",
     "L1",
     "L2",
     "LINF",

@@ -2,8 +2,12 @@
 
 ``FeatureIndex`` documents the informal protocol every index in this
 repository implements (the hybrid tree included), so the evaluation harness
-and the exactness tests can drive them interchangeably.  ``EntryLeaf`` is the
-numpy-backed data page reused by the R-tree family.
+and the exactness tests can drive them interchangeably.
+``BatchQueryMixin`` extends that protocol with the batch-query surface of
+:mod:`repro.engine` (``range_search_many`` / ``distance_range_many`` /
+``knn_many``) as a plain loop, so baselines answer the same batched harness
+calls the hybrid tree serves with its shared-traversal engine.  ``EntryLeaf``
+is the numpy-backed data page reused by the R-tree family.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.distances import Metric
+from repro.distances import L2, Metric
 from repro.geometry.rect import Rect
 from repro.storage.iostats import IOStats
 
@@ -36,6 +40,77 @@ class FeatureIndex(Protocol):
     def pages(self) -> int: ...
 
     def __len__(self) -> int: ...
+
+
+class BatchQueryMixin:
+    """Default batch-query API: a measured loop over the single-query calls.
+
+    Indexes without a shared-traversal engine inherit this so the batched
+    harness, the CLI and the engine benchmark can drive every structure
+    through one interface.  With ``return_metrics=True`` the loop measures
+    every query exactly (latency via ``perf_counter``, pages via an
+    ``IOStats`` checkpoint) and returns a
+    :class:`repro.engine.metrics.BatchMetrics` alongside the results —
+    which is also how the single-query side of batch-vs-loop comparisons
+    is instrumented.
+    """
+
+    def _run_measured(self, label: str, calls):
+        from repro.engine.metrics import LoopRecorder
+
+        recorder = LoopRecorder(label, self.io)
+        reads0 = self.io.random_reads
+        results = []
+        for call in calls:
+            recorder.start_query()
+            results.append(call())
+            recorder.end_query()
+        return results, recorder.finish(charged_reads=self.io.random_reads - reads0)
+
+    def range_search_many(self, queries, return_metrics: bool = False):
+        if not return_metrics:
+            return [self.range_search(q) for q in queries]
+        return self._run_measured(
+            "range-loop", [lambda q=q: self.range_search(q) for q in queries]
+        )
+
+    def distance_range_many(
+        self, centers, radii, metric: Metric = L2, return_metrics: bool = False
+    ):
+        centers = np.asarray(centers)
+        radii = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(centers),))
+        if not return_metrics:
+            return [
+                self.distance_range(c, float(r), metric)
+                for c, r in zip(centers, radii)
+            ]
+        return self._run_measured(
+            "distance-loop",
+            [
+                lambda c=c, r=r: self.distance_range(c, float(r), metric)
+                for c, r in zip(centers, radii)
+            ],
+        )
+
+    def knn_many(
+        self,
+        centers,
+        k: int,
+        metric: Metric = L2,
+        approximation_factor: float = 0.0,
+        return_metrics: bool = False,
+    ):
+        centers = np.asarray(centers)
+        kwargs = (
+            {"approximation_factor": approximation_factor}
+            if approximation_factor
+            else {}
+        )
+        if not return_metrics:
+            return [self.knn(c, k, metric, **kwargs) for c in centers]
+        return self._run_measured(
+            "knn-loop", [lambda c=c: self.knn(c, k, metric, **kwargs) for c in centers]
+        )
 
 
 class EntryLeaf:

@@ -15,7 +15,12 @@ import itertools
 
 import numpy as np
 
-from repro.baselines.common import EntryLeaf, check_vector, quadratic_partition
+from repro.baselines.common import (
+    BatchQueryMixin,
+    EntryLeaf,
+    check_vector,
+    quadratic_partition,
+)
 from repro.distances import L2, Metric
 from repro.geometry.rect import Rect
 from repro.storage.iostats import IOStats
@@ -44,7 +49,7 @@ class RIndexNode:
         raise KeyError(child_id)
 
 
-class RTree:
+class RTree(BatchQueryMixin):
     """Dynamic R-tree over a ``dims``-dimensional feature space."""
 
     def __init__(

@@ -12,6 +12,10 @@ Commands
     Run a k-NN / distance-range / box query against a saved tree.
 ``bench``
     Run one of the paper-figure experiments and print its table.
+``bench-batch``
+    Compare the batch query engine (one shared traversal + pinned hot
+    directory) against a loop of single queries and print per-query
+    latency / page-access histograms.
 """
 
 from __future__ import annotations
@@ -185,6 +189,125 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.datasets import (
+        clustered_dataset,
+        colhist_dataset,
+        fourier_dataset,
+        uniform_dataset,
+    )
+    from repro.datasets.workload import range_workload
+    from repro.engine import QuerySession
+    from repro.eval.report import render_table
+
+    if args.queries < 1:
+        raise SystemExit("--queries must be >= 1")
+    if args.k < 1:
+        raise SystemExit("--k must be >= 1")
+    if args.pin_levels < 0:
+        raise SystemExit("--pin-levels must be >= 0")
+    makers = {
+        "colhist": colhist_dataset,
+        "fourier": fourier_dataset,
+        "uniform": uniform_dataset,
+        "clustered": clustered_dataset,
+    }
+    data = makers[args.dataset](args.count, args.dims, seed=args.seed)
+    tree = HybridTree.bulk_load(data)
+    metric = _metric(args.metric)
+    print(
+        f"{args.dataset}: {len(tree):,} x {args.dims}-d points, "
+        f"height {tree.height}, {tree.pages():,} pages; "
+        f"{args.queries} queries per mode",
+        file=sys.stderr,
+    )
+
+    rows = []
+    reports = []
+
+    def compare(label, run_loop, run_batch):
+        tree.io.reset()
+        start = time.perf_counter()
+        loop_results, loop_metrics = run_loop()
+        loop_wall = time.perf_counter() - start
+        tree.io.reset()
+        start = time.perf_counter()
+        batch_results, batch_metrics = run_batch()
+        batch_wall = time.perf_counter() - start
+        identical = loop_results == batch_results
+        rows.append(
+            {
+                "mode": label,
+                **{
+                    k: loop_metrics.summary()[k]
+                    for k in ("charged_reads", "lat_p50_ms", "lat_p95_ms")
+                },
+                "loop_s": round(loop_wall, 3),
+                "batch_s": round(batch_wall, 3),
+                "speedup": round(loop_wall / batch_wall, 2) if batch_wall else 0.0,
+                "batch_reads": batch_metrics.charged_reads,
+                "identical": identical,
+            }
+        )
+        reports.append(loop_metrics.render())
+        reports.append(batch_metrics.render())
+
+    workload = range_workload(data, args.queries, args.selectivity, seed=args.seed + 1)
+    boxes = workload.boxes()
+    compare(
+        "range",
+        lambda: _loop_range(tree, boxes),
+        lambda: tree.range_search_many(boxes, return_metrics=True),
+    )
+    centers = workload.centers
+    compare(
+        f"knn k={args.k}",
+        lambda: _loop_knn(tree, centers, args.k, metric),
+        lambda: tree.knn_many(centers, args.k, metric, return_metrics=True),
+    )
+    with QuerySession(tree, pin_levels=args.pin_levels) as session:
+        compare(
+            f"knn k={args.k} (session, {session.pinned_pages} pinned)",
+            lambda: _loop_knn(tree, centers, args.k, metric),
+            lambda: session.knn_many(centers, args.k, metric, return_metrics=True),
+        )
+
+    print(render_table(rows, "batch engine vs single-query loop"))
+    for text in reports:
+        print()
+        print(text)
+    return 0
+
+
+def _loop_range(tree, boxes):
+    """Single-query loop instrumented like the baselines' measured loop."""
+    from repro.engine.metrics import LoopRecorder
+
+    recorder = LoopRecorder("range-loop", tree.io)
+    reads0 = tree.io.random_reads
+    results = []
+    for box in boxes:
+        recorder.start_query()
+        results.append(tree.range_search(box))
+        recorder.end_query()
+    return results, recorder.finish(charged_reads=tree.io.random_reads - reads0)
+
+
+def _loop_knn(tree, centers, k, metric):
+    from repro.engine.metrics import LoopRecorder
+
+    recorder = LoopRecorder("knn-loop", tree.io)
+    reads0 = tree.io.random_reads
+    results = []
+    for center in centers:
+        recorder.start_query()
+        results.append(tree.knn(center, k, metric=metric))
+        recorder.end_query()
+    return results, recorder.finish(charged_reads=tree.io.random_reads - reads0)
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -229,6 +352,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--figure", choices=_BENCH_CHOICES, required=True)
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "bench-batch", help="compare the batch engine against a single-query loop"
+    )
+    p.add_argument(
+        "--dataset",
+        choices=["colhist", "fourier", "uniform", "clustered"],
+        default="colhist",
+    )
+    p.add_argument("--count", type=int, default=20000)
+    p.add_argument("--dims", type=int, default=16)
+    p.add_argument("--queries", type=int, default=1000)
+    p.add_argument("--selectivity", type=float, default=0.002)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--metric", default="l2", help="l1 | l2 | linf | <p>")
+    p.add_argument("--pin-levels", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_bench_batch)
 
     return parser
 

@@ -90,6 +90,13 @@ class ELSTable:
     def drop(self, node_id: int) -> None:
         self._live.pop(node_id, None)
 
+    def items(self) -> list[tuple[int, Rect]]:
+        """Snapshot of ``(node_id, live box)`` pairs, sorted by node id.
+
+        The public view persistence and diagnostics iterate — callers never
+        touch the underlying table."""
+        return sorted(self._live.items())
+
     def merge_point(self, node_id: int, point: np.ndarray) -> None:
         """Grow a node's live box to absorb a newly inserted point."""
         live = self._live.get(node_id)

@@ -624,7 +624,10 @@ class HybridTree:
         frontier: list[tuple[float, int, int, Rect]] = [
             (0.0, next(counter), self._root_id, self.bounds)
         ]
-        # Max-heap of the best k (negated distances).
+        # Max-heap of the best k, keyed by (distance, oid) with both parts
+        # negated so the root is the *worst* retained neighbour.  The oid
+        # component breaks kth-distance ties deterministically (smallest oid
+        # wins), so repeated runs — and the batch engine — agree exactly.
         best: list[tuple[float, int]] = []
 
         def kth() -> float:
@@ -641,10 +644,11 @@ class HybridTree:
                 dists = metric.distance_batch(node.points().astype(np.float64), q)
                 for i, dist in enumerate(dists):
                     dist = float(dist)
-                    if dist < kth() or len(best) < k:
-                        heapq.heappush(best, (-dist, int(node.live_oids()[i])))
-                        if len(best) > k:
-                            heapq.heappop(best)
+                    oid = int(node.live_oids()[i])
+                    if len(best) < k:
+                        heapq.heappush(best, (-dist, -oid))
+                    elif (dist, oid) < (-best[0][0], -best[0][1]):
+                        heapq.heapreplace(best, (-dist, -oid))
                 continue
             for child_id, child_region in node.children_with_regions(region):
                 live = self.els.effective_rect(child_id, child_region)
@@ -653,7 +657,10 @@ class HybridTree:
                     heapq.heappush(
                         frontier, (child_bound, next(counter), child_id, child_region)
                     )
-        return sorted(((oid, -neg) for neg, oid in best), key=lambda t: (t[1], t[0]))
+        return sorted(
+            ((-neg_oid, -neg_dist) for neg_dist, neg_oid in best),
+            key=lambda t: (t[1], t[0]),
+        )
 
     def nearest_iter(self, query: np.ndarray, metric: Metric = L2):
         """Yield ``(oid, distance)`` in non-decreasing distance order.
@@ -724,6 +731,44 @@ class HybridTree:
         return total
 
     # ------------------------------------------------------------------
+    # Batch queries (repro.engine: one shared traversal serves the batch)
+    # ------------------------------------------------------------------
+    def range_search_many(self, queries, return_metrics: bool = False):
+        """Batch form of :meth:`range_search`: one traversal, bit-identical
+        results, each node charged once for the whole batch."""
+        from repro.engine import range_search_many
+
+        return range_search_many(self, queries, return_metrics)
+
+    def distance_range_many(
+        self, centers, radii, metric: Metric = L2, return_metrics: bool = False
+    ):
+        """Batch form of :meth:`distance_range` (scalar or per-query radii)."""
+        from repro.engine import distance_range_many
+
+        return distance_range_many(self, centers, radii, metric, return_metrics)
+
+    def knn_many(
+        self,
+        centers,
+        k: int,
+        metric: Metric = L2,
+        approximation_factor: float = 0.0,
+        return_metrics: bool = False,
+    ):
+        """Batch form of :meth:`knn` over a shared branch-and-bound pass."""
+        from repro.engine import knn_many
+
+        return knn_many(self, centers, k, metric, approximation_factor, return_metrics)
+
+    def session(self, pin_levels: int = 2):
+        """Open a :class:`repro.engine.QuerySession` pinning the hot upper
+        ``pin_levels`` directory levels (each page charged once)."""
+        from repro.engine import QuerySession
+
+        return QuerySession(self, pin_levels=pin_levels)
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
@@ -733,14 +778,20 @@ class HybridTree:
         catalog (root id, height, bounds, parameters) and
         ``path + '.els.npz'`` the in-memory ELS table (Section 3.4 keeps ELS
         out of the pages).
+
+        Every artefact is written to a temporary sibling and atomically
+        renamed into place, so saving a lazily-faulting reopened tree *over
+        its own path* is safe (the page file it still reads from is never
+        deleted) and a crash mid-save leaves the previous save intact.
         """
         from repro.storage.serialization import HybridNodeCodec
 
         path = os.fspath(path)
         codec = HybridNodeCodec(self.dims, self.data_capacity)
-        if os.path.exists(path):
-            os.remove(path)
-        with FilePageStore(path, self.layout.page_size) as store:
+        tmp_pages = path + ".tmp"
+        if os.path.exists(tmp_pages):
+            os.remove(tmp_pages)
+        with FilePageStore(tmp_pages, self.layout.page_size) as store:
             seen: set[int] = set()
             stack = [self._root_id]
             while stack:
@@ -768,12 +819,25 @@ class HybridTree:
             "bounds_low": self.bounds.low.tolist(),
             "bounds_high": self.bounds.high.tolist(),
         }
-        with open(path + ".meta.json", "w") as f:
+        with open(path + ".meta.json.tmp", "w") as f:
             json.dump(meta, f)
-        node_ids = np.array(sorted(self.els._live), dtype=np.int64)
-        lows = np.array([self.els._live[i].low for i in node_ids]) if len(node_ids) else np.empty((0, self.dims))
-        highs = np.array([self.els._live[i].high for i in node_ids]) if len(node_ids) else np.empty((0, self.dims))
-        np.savez(path + ".els.npz", node_ids=node_ids, lows=lows, highs=highs)
+        entries = self.els.items()
+        node_ids = np.array([node_id for node_id, _ in entries], dtype=np.int64)
+        lows = (
+            np.array([live.low for _, live in entries])
+            if entries
+            else np.empty((0, self.dims))
+        )
+        highs = (
+            np.array([live.high for _, live in entries])
+            if entries
+            else np.empty((0, self.dims))
+        )
+        np.savez(path + ".els.tmp.npz", node_ids=node_ids, lows=lows, highs=highs)
+        # Publish all three artefacts only once fully written.
+        os.replace(tmp_pages, path)
+        os.replace(path + ".meta.json.tmp", path + ".meta.json")
+        os.replace(path + ".els.tmp.npz", path + ".els.npz")
 
     @classmethod
     def open(

@@ -18,6 +18,7 @@ from repro.distances.metrics import (
     QuadraticFormMetric,
     UserMetric,
     WeightedEuclidean,
+    mindist_rect_many,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "QuadraticFormMetric",
     "UserMetric",
     "WeightedEuclidean",
+    "mindist_rect_many",
 ]

@@ -1,0 +1,28 @@
+"""High-throughput batch query engine for the hybrid tree.
+
+One traversal serves many queries: nodes are fetched once per batch and
+tested against all still-alive queries with vectorized predicates, and
+:class:`QuerySession` pins the hot directory levels so a warm serving
+process stops re-paying for them.  Results are bit-identical to the
+single-query API; see :mod:`repro.engine.batch` for the contract and
+:mod:`repro.engine.metrics` for the per-query latency / page-access
+accounting both execution paths share.
+"""
+
+from repro.engine.batch import (
+    QuerySession,
+    distance_range_many,
+    knn_many,
+    range_search_many,
+)
+from repro.engine.metrics import BatchMetrics, LoopRecorder, ascii_histogram
+
+__all__ = [
+    "BatchMetrics",
+    "LoopRecorder",
+    "QuerySession",
+    "ascii_histogram",
+    "distance_range_many",
+    "knn_many",
+    "range_search_many",
+]

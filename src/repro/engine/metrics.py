@@ -1,0 +1,200 @@
+"""Per-query latency and page-access accounting for batch query runs.
+
+The paper reports *average* disk accesses per query; a serving system cares
+about the *distribution* — tail latencies and worst-case page bills.  This
+module is the lightweight (numpy-only) recorder both execution paths share:
+
+- the single-query loop measures every query exactly (``perf_counter`` +
+  an ``IOStats`` checkpoint around each call);
+- the shared-traversal engine fetches each node once for many queries, so
+  per-query charged reads no longer exist; it records instead how many
+  nodes were visited *on behalf of* each query (the query's page working
+  set) and attributes the batch wall time proportionally to those visits.
+
+Either way the result is a :class:`BatchMetrics`: per-query latency and
+page-access vectors plus the batch totals, with percentile summaries and
+ascii histograms for the CLI (``repro bench-batch``), the eval harness and
+the engine benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def ascii_histogram(
+    values: np.ndarray, bins: int = 10, width: int = 40, unit: str = ""
+) -> str:
+    """Render a fixed-width ascii histogram of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return "(no samples)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * max(1 if count else 0, round(width * int(count) / peak))
+        lines.append(
+            f"  [{edges[i]:>10.4g}, {edges[i + 1]:>10.4g}{unit}) "
+            f"{bar:<{width}} {int(count)}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class BatchMetrics:
+    """Measurements of one workload execution, one entry per query.
+
+    ``latencies`` are seconds; ``pages`` is the per-query page-access count
+    (charged reads in loop mode, attributed node visits in batch mode);
+    ``charged_reads`` and ``wall_seconds`` are the batch totals actually
+    observed — in batch mode ``charged_reads`` is far below
+    ``pages.sum()`` because shared node fetches are charged once.
+    """
+
+    label: str
+    latencies: np.ndarray
+    pages: np.ndarray
+    charged_reads: int
+    wall_seconds: float
+    attributed: bool = field(default=False)
+
+    @classmethod
+    def from_batch_run(
+        cls,
+        label: str,
+        node_visits: np.ndarray,
+        charged_reads: int,
+        wall_seconds: float,
+    ) -> "BatchMetrics":
+        """Metrics for a shared-traversal run: latency is attributed to each
+        query proportionally to the nodes visited on its behalf."""
+        visits = np.asarray(node_visits, dtype=np.float64)
+        total = visits.sum()
+        if total > 0:
+            latencies = wall_seconds * visits / total
+        else:
+            latencies = np.full(visits.shape, wall_seconds / max(visits.size, 1))
+        return cls(
+            label=label,
+            latencies=latencies,
+            pages=visits,
+            charged_reads=int(charged_reads),
+            wall_seconds=float(wall_seconds),
+            attributed=True,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_queries(self) -> int:
+        return int(self.latencies.size)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.num_queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def percentile(self, q: float, what: str = "latency") -> float:
+        values = self.latencies if what == "latency" else self.pages
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, q))
+
+    def latency_histogram(self, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        return np.histogram(self.latencies, bins=bins)
+
+    def pages_histogram(self, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        return np.histogram(self.pages, bins=bins)
+
+    def summary(self) -> dict:
+        """A flat row for table rendering."""
+        return {
+            "label": self.label,
+            "queries": self.num_queries,
+            "wall_s": round(self.wall_seconds, 4),
+            "qps": round(self.queries_per_second, 1),
+            "charged_reads": self.charged_reads,
+            "reads/query": round(self.charged_reads / max(self.num_queries, 1), 2),
+            "lat_p50_ms": round(self.percentile(50) * 1e3, 4),
+            "lat_p95_ms": round(self.percentile(95) * 1e3, 4),
+            "lat_max_ms": round(self.percentile(100) * 1e3, 4),
+            "pages_p50": round(self.percentile(50, "pages"), 1),
+            "pages_p95": round(self.percentile(95, "pages"), 1),
+            "pages_max": round(self.percentile(100, "pages"), 1),
+        }
+
+    def render(self, bins: int = 10) -> str:
+        """Summary plus latency/page histograms, ready to print."""
+        s = self.summary()
+        kind = "attributed" if self.attributed else "measured"
+        head = (
+            f"{self.label}: {s['queries']} queries in {s['wall_s']}s "
+            f"({s['qps']} q/s), {s['charged_reads']} charged page reads "
+            f"({s['reads/query']}/query)"
+        )
+        return "\n".join(
+            [
+                head,
+                f"per-query latency ({kind}, ms): "
+                f"p50={s['lat_p50_ms']} p95={s['lat_p95_ms']} max={s['lat_max_ms']}",
+                ascii_histogram(self.latencies * 1e3, bins=bins, unit=" ms"),
+                f"per-query page accesses: p50={s['pages_p50']} "
+                f"p95={s['pages_p95']} max={s['pages_max']}",
+                ascii_histogram(self.pages, bins=bins),
+            ]
+        )
+
+
+class LoopRecorder:
+    """Collects exact per-query measurements for single-query loops.
+
+    Usage: ``with recorder.query():`` around each call; the recorder
+    snapshots the index's ``IOStats`` and ``perf_counter`` per query and
+    assembles a :class:`BatchMetrics` at the end.
+    """
+
+    def __init__(self, label: str, io_stats) -> None:
+        self.label = label
+        self.io = io_stats
+        self._latencies: list[float] = []
+        self._pages: list[float] = []
+        self._start_reads: int | None = None
+        self._start_time = 0.0
+        self._wall_start: float | None = None
+
+    def start_query(self) -> None:
+        import time
+
+        if self._wall_start is None:
+            self._wall_start = time.perf_counter()
+        self.io.checkpoint()
+        self._start_time = time.perf_counter()
+
+    def end_query(self) -> None:
+        import time
+
+        self._latencies.append(time.perf_counter() - self._start_time)
+        self._pages.append(self.io.since_checkpoint().weighted_cost())
+
+    def finish(self, charged_reads: int | None = None) -> BatchMetrics:
+        import time
+
+        wall = (
+            time.perf_counter() - self._wall_start
+            if self._wall_start is not None
+            else float(np.sum(self._latencies))
+        )
+        pages = np.asarray(self._pages, dtype=np.float64)
+        return BatchMetrics(
+            label=self.label,
+            latencies=np.asarray(self._latencies, dtype=np.float64),
+            pages=pages,
+            charged_reads=(
+                int(charged_reads)
+                if charged_reads is not None
+                else int(round(pages.sum()))
+            ),
+            wall_seconds=wall,
+            attributed=False,
+        )

@@ -15,6 +15,7 @@ from repro.eval.harness import (
     ExperimentResult,
     build_index,
     run_workload,
+    run_workload_batched,
 )
 from repro.eval.report import render_table
 
@@ -26,4 +27,5 @@ __all__ = [
     "normalized_io_cost",
     "render_table",
     "run_workload",
+    "run_workload_batched",
 ]

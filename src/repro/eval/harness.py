@@ -185,3 +185,55 @@ def run_workload(
         scan_pages=scan_pages,
         scan_cpu_seconds=scan_cpu_seconds,
     )
+
+
+def run_workload_batched(
+    index,
+    data: np.ndarray,
+    workload: QueryWorkload,
+    kind: str = "",
+    scan_cpu_seconds: float | None = None,
+):
+    """Execute the whole workload through the batch-query API in one pass.
+
+    The index must expose the batch interface (``range_search_many`` /
+    ``distance_range_many``): the hybrid tree serves it with the
+    shared-traversal engine, baselines through
+    :class:`repro.baselines.common.BatchQueryMixin`.  Returns an
+    :class:`ExperimentResult` (averages, comparable with
+    :func:`run_workload`) together with the per-query
+    :class:`repro.engine.metrics.BatchMetrics`.
+    """
+    kind = kind or type(index).__name__
+    scan_pages = sequential_scan_pages(len(index), data.shape[1])
+    if scan_cpu_seconds is None:
+        scan_cpu_seconds = _scan_cpu_per_query(data, workload)
+
+    index.io.checkpoint()
+    start = time.perf_counter()
+    if workload.kind == "box":
+        results, metrics = index.range_search_many(
+            workload.boxes(), return_metrics=True
+        )
+    elif workload.kind == "distance":
+        results, metrics = index.distance_range_many(
+            workload.centers, workload.radii, workload.metric, return_metrics=True
+        )
+    else:
+        raise ValueError(f"unknown workload kind {workload.kind!r}")
+    elapsed = time.perf_counter() - start
+    total_weighted = index.io.since_checkpoint().weighted_cost()
+
+    n = len(workload)
+    return (
+        ExperimentResult(
+            kind=kind,
+            num_queries=n,
+            avg_disk_accesses=total_weighted / n,
+            avg_cpu_seconds=elapsed / n,
+            avg_result_count=sum(len(r) for r in results) / n,
+            scan_pages=scan_pages,
+            scan_cpu_seconds=scan_cpu_seconds,
+        ),
+        metrics,
+    )

@@ -12,11 +12,7 @@ import numpy as np
 from repro.baselines import HBTree, KDBTree, RTree, SRTree
 from repro.core import HybridTree, compute_stats
 from repro.datasets import colhist_dataset
-from repro.storage.page import (
-    kdtree_node_capacity,
-    rtree_node_capacity,
-    srtree_node_capacity,
-)
+from repro.storage.page import kdtree_node_capacity, rtree_node_capacity
 
 
 def table1_splitting_strategies(

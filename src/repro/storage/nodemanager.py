@@ -68,6 +68,7 @@ class NodeManager:
         self.max_cached = max_cached
         self._cache: OrderedDict[int, Any] = OrderedDict()
         self._dirty: set[int] = set()
+        self._pinned: set[int] = set()
 
     # ------------------------------------------------------------------
     # Core protocol used by the index structures
@@ -85,10 +86,16 @@ class NodeManager:
         visit counts one access, modelling the paper's cold measurements.
 
         ``charge=False`` is for maintenance traversals (e.g. computing tree
-        statistics) that must not pollute query-cost measurements.
+        statistics) that must not pollute query-cost measurements; the store
+        read on a cache miss is then uncharged too.
+
+        Pinned pages (see :meth:`pin`) are always free to revisit: a query
+        session has already paid to bring them into the buffer.
         """
         node = self._cache.get(page_id)
         if node is not None:
+            if page_id in self._pinned:
+                return node
             if self.max_cached is not None:
                 self._cache.move_to_end(page_id)
             elif charge:
@@ -96,7 +103,7 @@ class NodeManager:
             return node
         if self.codec is None:
             raise KeyError(f"node {page_id} not cached and no codec to fault it in")
-        data = self.store.read(page_id)  # the store charges this access
+        data = self.store.read(page_id, charge=charge)
         node = self.codec.decode(data)
         self._cache[page_id] = node
         self._evict_if_needed()
@@ -115,8 +122,13 @@ class NodeManager:
     def _evict_if_needed(self) -> None:
         if self.max_cached is None:
             return
-        while len(self._cache) > self.max_cached:
-            victim, node = self._cache.popitem(last=False)
+        while len(self._cache) - len(self._pinned) > self.max_cached:
+            victim = next(
+                (pid for pid in self._cache if pid not in self._pinned), None
+            )
+            if victim is None:
+                return
+            node = self._cache.pop(victim)
             if victim in self._dirty:
                 self.store.write(victim, self.codec.encode(node))
                 self._dirty.discard(victim)
@@ -125,7 +137,32 @@ class NodeManager:
         """Release a node's page."""
         self._cache.pop(page_id, None)
         self._dirty.discard(page_id)
+        self._pinned.discard(page_id)
         self.store.free(page_id)
+
+    # ------------------------------------------------------------------
+    # Pinning (query sessions keep hot upper-level nodes resident)
+    # ------------------------------------------------------------------
+    def pin(self, page_id: int, charge: bool = True) -> Any:
+        """Fault the node in (one charged read unless ``charge=False``) and
+        keep it resident: later visits are free and a bounded cache never
+        evicts it.  Returns the node."""
+        node = self.get(page_id, charge=charge)
+        self._pinned.add(page_id)
+        return node
+
+    def unpin(self, page_id: int) -> None:
+        """Release a pin; the page returns to normal charging/eviction."""
+        self._pinned.discard(page_id)
+        self._evict_if_needed()
+
+    def unpin_all(self) -> None:
+        for page_id in list(self._pinned):
+            self.unpin(page_id)
+
+    @property
+    def pinned_nodes(self) -> int:
+        return len(self._pinned)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -142,10 +179,15 @@ class NodeManager:
         return written
 
     def evict_all(self) -> None:
-        """Drop the object cache (dirty nodes must be flushed first)."""
+        """Drop the object cache (dirty nodes must be flushed first).
+
+        Pinned nodes stay resident — they were paid for by a session.
+        """
         if self._dirty:
             raise RuntimeError("evict_all() with dirty nodes would lose data; flush() first")
+        kept = {pid: self._cache[pid] for pid in self._pinned if pid in self._cache}
         self._cache.clear()
+        self._cache.update(kept)
 
     @property
     def cached_nodes(self) -> int:

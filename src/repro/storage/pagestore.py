@@ -59,8 +59,19 @@ class PageStore(ABC):
             raise KeyError(f"page id {page_id} was never allocated")
 
     @abstractmethod
-    def read(self, page_id: int, kind: AccessKind = AccessKind.RANDOM_READ) -> bytes:
-        """Return the page's contents, charging one access of ``kind``."""
+    def read(
+        self,
+        page_id: int,
+        kind: AccessKind = AccessKind.RANDOM_READ,
+        charge: bool = True,
+    ) -> bytes:
+        """Return the page's contents, charging one access of ``kind``.
+
+        ``charge=False`` performs the read without recording it — the hook
+        maintenance traversals (``validate``, ``rebuild_els``, statistics)
+        use so they never pollute query-cost measurements, even when a
+        bounded buffer pool forces a genuine page fault.
+        """
 
     @abstractmethod
     def write(
@@ -76,9 +87,15 @@ class InMemoryPageStore(PageStore):
         super().__init__(page_size, stats)
         self._pages: dict[int, bytes] = {}
 
-    def read(self, page_id: int, kind: AccessKind = AccessKind.RANDOM_READ) -> bytes:
+    def read(
+        self,
+        page_id: int,
+        kind: AccessKind = AccessKind.RANDOM_READ,
+        charge: bool = True,
+    ) -> bytes:
         self._validate_id(page_id)
-        self.stats.record(kind)
+        if charge:
+            self.stats.record(kind)
         return self._pages.get(page_id, b"\x00" * self.page_size)
 
     def write(
@@ -108,9 +125,15 @@ class FilePageStore(PageStore):
         size = os.path.getsize(self.path)
         self._next_id = size // page_size
 
-    def read(self, page_id: int, kind: AccessKind = AccessKind.RANDOM_READ) -> bytes:
+    def read(
+        self,
+        page_id: int,
+        kind: AccessKind = AccessKind.RANDOM_READ,
+        charge: bool = True,
+    ) -> bytes:
         self._validate_id(page_id)
-        self.stats.record(kind)
+        if charge:
+            self.stats.record(kind)
         self._file.seek(page_id * self.page_size)
         data = self._file.read(self.page_size)
         return data.ljust(self.page_size, b"\x00")

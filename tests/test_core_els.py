@@ -129,6 +129,19 @@ class TestELSTable:
         with pytest.raises(ValueError):
             ELSTable(2, -1)
 
+    def test_items_sorted_and_complete(self):
+        table = ELSTable(2, 4)
+        boxes = {9: Rect.unit(2), 3: Rect([0.1, 0.1], [0.2, 0.2]), 6: Rect.unit(2)}
+        for node_id, live in boxes.items():
+            table.set(node_id, live)
+        items = table.items()
+        assert [node_id for node_id, _ in items] == [3, 6, 9]
+        for node_id, live in items:
+            assert live == boxes[node_id]
+
+    def test_items_empty(self):
+        assert ELSTable(2, 4).items() == []
+
 
 @settings(max_examples=100, deadline=None)
 @given(

@@ -175,6 +175,24 @@ class TestKNN:
         with pytest.raises(ValueError):
             tree8.knn(np.zeros(8), 1, approximation_factor=-0.5)
 
+    def test_kth_boundary_ties_deterministic(self, rng):
+        """Regression: with duplicate points straddling the kth boundary the
+        result set depended on traversal order; ties now break by oid, so any
+        two trees over the same multiset agree exactly."""
+        base = rng.random((40, 4))
+        data = np.repeat(base, 6, axis=0).astype(np.float32)  # 6 copies each
+        dynamic = build_dynamic(data)
+        bulk = HybridTree.bulk_load(data)
+        for q in base[:10]:
+            k = 4  # < 6 copies: the kth boundary cuts through a tie group
+            got_dyn = dynamic.knn(q.astype(np.float64), k)
+            got_bulk = bulk.knn(q.astype(np.float64), k)
+            assert got_dyn == got_bulk
+            assert got_dyn == sorted(got_dyn, key=lambda t: (t[1], t[0]))
+            # The tie group at distance zero is the lowest-oid copies.
+            zero = [oid for oid, d in got_dyn if d == 0.0]
+            assert zero == sorted(zero)
+
 
 class TestStructuralInvariants:
     def test_validate_after_dynamic_build(self, tree8):
@@ -309,6 +327,63 @@ class TestPersistence:
         reopened = HybridTree.open(path)
         q = uniform8[7].astype(np.float64)
         assert [o for o, _ in reopened.knn(q, 5)] == [o for o, _ in tree8.knn(q, 5)]
+
+    def test_save_over_own_path(self, uniform8, tree8, tmp_path, rng):
+        """Regression: saving a lazily-faulting reopened tree over its own
+        path used to delete the page file it was still reading from."""
+        path = str(tmp_path / "tree.pages")
+        tree8.save(path)
+        reopened = HybridTree.open(path)
+        # Fault only a few pages in, so most still live solely in the file.
+        reopened.range_search(Rect([0.48] * 8, [0.52] * 8))
+        assert reopened.nm.cached_nodes < tree8.pages()
+        reopened.save(path)  # must fault the rest in from the old file
+        again = HybridTree.open(path)
+        again.validate()
+        assert len(again) == len(tree8)
+        for query in random_boxes(rng, 8, 8):
+            assert again.range_search(query) == tree8.range_search(query)
+
+    def test_save_interrupted_keeps_previous(self, uniform8, tree8, tmp_path, monkeypatch):
+        """A crash before publication leaves the previous save readable."""
+        path = str(tmp_path / "tree.pages")
+        tree8.save(path)
+
+        import repro.core.hybridtree as ht
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(ht.os, "replace", boom)
+        with pytest.raises(RuntimeError):
+            tree8.save(path)
+        monkeypatch.undo()
+        reopened = HybridTree.open(path)
+        reopened.validate()
+        assert len(reopened) == len(tree8)
+
+    def test_delete_underflow_then_roundtrip_bounded(self, uniform8, tmp_path, rng):
+        """Heavy deletion (driving node underflow/merges), then a save/open
+        round trip under a small buffer pool: structure and answers survive."""
+        tree = build_dynamic(uniform8[:1500])
+        deleted = set(range(0, 1200, 2))
+        for oid in deleted:
+            assert tree.delete(uniform8[oid], oid)
+        tree.validate()
+        path = str(tmp_path / "tree.pages")
+        tree.save(path)
+        small = HybridTree.open(path, buffer_pages=4)
+        small.validate()
+        assert len(small) == len(tree) == 1500 - len(deleted)
+        for query in random_boxes(rng, 8, 8):
+            assert sorted(small.range_search(query)) == sorted(tree.range_search(query))
+        remaining = [o for o, _ in small.knn(uniform8[1].astype(np.float64), 20)]
+        assert not deleted.intersection(remaining)
+        # And the bounded tree can itself be saved over its own path.
+        small.save(path)
+        again = HybridTree.open(path)
+        again.validate()
+        assert len(again) == len(tree)
 
 
 class TestELSBehaviour:

@@ -384,6 +384,23 @@ class TestBoundedNodeManager:
         buffered.range_search(box)
         assert buffered.io.random_reads == 0  # fully cached: no faults
 
+    def test_bounded_miss_respects_charge_flag(self, tmp_path):
+        """Regression: ``get(..., charge=False)`` used to charge anyway when
+        the bounded cache missed and the page was re-read from the store."""
+        from repro.core import HybridTree
+
+        path, tree, box = self._saved_tree(tmp_path)
+        small = HybridTree.open(path, buffer_pages=4)
+        small.range_search(box)  # fault + evict: root may no longer be cached
+        small.nm.evict_all()
+        small.io.reset()
+        small.nm.get(small.root_id, charge=False)
+        assert small.io.total_accesses == 0
+        # validate() reads every page uncharged even under a bounded pool.
+        small.io.reset()
+        small.validate()
+        assert small.io.total_accesses == 0
+
     def test_dirty_eviction_writes_back(self, tmp_path):
         from repro.core import HybridTree
         from repro.geometry.rect import Rect
@@ -396,3 +413,76 @@ class TestBoundedNodeManager:
         # Thrash the cache so the dirty page is evicted and re-read.
         small.range_search(Rect.unit(6))
         assert 999_999 in small.point_search(v)
+
+
+class TestPinning:
+    def test_pin_charges_once_then_free(self):
+        nm = NodeManager()
+        pid = nm.allocate()
+        nm.put(pid, "node", charge=False)
+        nm.stats.reset()
+        assert nm.pin(pid) == "node"
+        assert nm.stats.random_reads == 1
+        nm.get(pid)
+        nm.get(pid)
+        assert nm.stats.random_reads == 1  # pinned visits are free
+        nm.unpin(pid)
+        nm.get(pid)
+        assert nm.stats.random_reads == 2
+
+    def test_unpin_all(self):
+        nm = NodeManager()
+        pids = [nm.allocate() for _ in range(3)]
+        for pid in pids:
+            nm.put(pid, "n", charge=False)
+            nm.pin(pid, charge=False)
+        assert nm.pinned_nodes == 3
+        nm.unpin_all()
+        assert nm.pinned_nodes == 0
+
+    def test_free_discards_pin(self):
+        nm = NodeManager()
+        pid = nm.allocate()
+        nm.put(pid, "n", charge=False)
+        nm.pin(pid, charge=False)
+        nm.free(pid)
+        assert nm.pinned_nodes == 0
+
+    def test_pinned_never_evicted_under_pressure(self, tmp_path):
+        from repro.core import HybridTree
+        from repro.datasets import uniform_dataset
+        from repro.geometry.rect import Rect
+
+        data = uniform_dataset(1500, 6, seed=71)
+        tree = HybridTree(6)
+        for oid, v in enumerate(data):
+            tree.insert(v, oid)
+        path = str(tmp_path / "t.pages")
+        tree.save(path)
+        small = HybridTree.open(path, buffer_pages=3)
+        small.nm.pin(small.root_id)
+        small.range_search(Rect.unit(6))  # way more than 3 pages touched
+        assert small.nm.cached_nodes <= 3 + small.nm.pinned_nodes
+        small.io.reset()
+        small.nm.get(small.root_id)
+        assert small.io.random_reads == 0
+
+    def test_evict_all_keeps_pinned(self):
+        class StrCodec:
+            def encode(self, node):
+                return node.encode()
+
+            def decode(self, data):
+                return data.rstrip(b"\x00").decode()
+
+        nm = NodeManager(codec=StrCodec())
+        pid, other = nm.allocate(), nm.allocate()
+        nm.put(pid, "a", charge=False)
+        nm.put(other, "b", charge=False)
+        nm.flush()
+        nm.pin(pid, charge=False)
+        nm.evict_all()
+        assert nm.cached_nodes == 1
+        nm.stats.reset()
+        assert nm.get(pid) == "a"
+        assert nm.stats.random_reads == 0
