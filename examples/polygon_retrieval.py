@@ -22,7 +22,7 @@ INDEX_PATH = "/tmp/polygon_index.pages"
 
 def build_or_open(descriptors: np.ndarray) -> HybridTree:
     """Open the persistent index if present, else build and save it."""
-    if os.path.exists(INDEX_PATH + ".meta.json"):
+    if os.path.exists(INDEX_PATH):
         tree = HybridTree.open(INDEX_PATH)
         if len(tree) == len(descriptors):
             print(f"opened existing index at {INDEX_PATH}")
@@ -63,8 +63,6 @@ def main() -> None:
     print(f"cold-start 8-NN faulted {cold.io.random_reads} pages from disk")
 
     os.remove(INDEX_PATH)
-    os.remove(INDEX_PATH + ".meta.json")
-    os.remove(INDEX_PATH + ".els.npz")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,12 @@ Commands
     Compare the batch query engine (one shared traversal + pinned hot
     directory) against a loop of single queries and print per-query
     latency / page-access histograms.
+``fsck``
+    Verify a saved tree file: page CRCs, reachability, free list,
+    checksum-of-checksums.  Exit status 1 if corruption is found.
+``salvage``
+    Scavenge the intact data pages of a damaged tree file and rebuild a
+    fresh tree from them.
 """
 
 from __future__ import annotations
@@ -123,7 +129,7 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    tree = HybridTree.open(args.tree)
+    tree = HybridTree.open(args.tree, on_corruption=args.on_corruption)
     metric = _metric(args.metric)
     if args.knn is not None:
         vector = np.array([float(x) for x in args.vector.split(",")])
@@ -150,6 +156,34 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"# {tree.io.random_reads} page reads over a {tree.pages():,}-page tree",
         file=sys.stderr,
     )
+    if tree.degraded_queries:
+        print(
+            f"# WARNING: corrupt page encountered; {tree.degraded_queries} "
+            "quer(y/ies) answered by degraded sequential scan",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.storage.recovery import verify
+
+    report = verify(args.tree)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_salvage(args: argparse.Namespace) -> int:
+    from repro.storage.errors import RecoveryError
+    from repro.storage.recovery import salvage
+
+    try:
+        report = salvage(args.tree, out_path=args.out, page_size=args.page_size)
+    except RecoveryError as exc:
+        raise SystemExit(f"salvage failed: {exc}")
+    print(report.render())
+    if report.expected_objects is not None:
+        return 0 if report.objects_recovered == report.expected_objects else 1
     return 0
 
 
@@ -346,7 +380,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--radius", type=float, help="distance range radius")
     p.add_argument("--box", help="box query 'low1,low2,...:high1,high2,...'")
     p.add_argument("--metric", default="l2", help="l1 | l2 | linf | <p>")
+    p.add_argument(
+        "--on-corruption",
+        choices=["raise", "scan"],
+        default="raise",
+        help="on a corrupt page: fail (raise) or degrade to a sequential scan",
+    )
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("fsck", help="verify a saved tree file's integrity")
+    p.add_argument("--tree", required=True, help="saved page file")
+    p.set_defaults(fn=cmd_fsck)
+
+    p = sub.add_parser(
+        "salvage", help="rebuild a tree from the intact data pages of a damaged file"
+    )
+    p.add_argument("--tree", required=True, help="damaged page file")
+    p.add_argument("--out", help="where to save the rebuilt tree")
+    p.add_argument(
+        "--page-size", type=int, help="override page size (skip superblock probe)"
+    )
+    p.set_defaults(fn=cmd_salvage)
 
     p = sub.add_parser("bench", help="run a paper-figure experiment")
     p.add_argument("--figure", choices=_BENCH_CHOICES, required=True)

@@ -20,9 +20,10 @@ be saved to / reopened from a real page file.
 from __future__ import annotations
 
 import heapq
+import io
 import itertools
-import json
 import os
+import struct
 
 import numpy as np
 
@@ -40,14 +41,24 @@ from repro.core.splits import (
 )
 from repro.distances import L2, Metric
 from repro.geometry.rect import Rect
-from repro.storage.iostats import IOStats
+from repro.storage import superblock as superblock_io
+from repro.storage.errors import PageCorruptionError
+from repro.storage.iostats import AccessKind, IOStats
 from repro.storage.nodemanager import NodeManager
 from repro.storage.page import (
     PageLayout,
     data_node_capacity,
     kdtree_node_capacity,
 )
-from repro.storage.pagestore import FilePageStore, PageStore
+from repro.storage.pagestore import FilePageStore, OverlayPageStore, PageStore
+
+ON_CORRUPTION_POLICIES = ("raise", "scan")
+
+
+def _save_store(path: str, page_size: int) -> FilePageStore:
+    """Open the store ``save`` writes through (crash tests swap this in
+    for a :class:`~repro.storage.faults.FaultInjectingPageStore`)."""
+    return FilePageStore(path, page_size, checksums=True)
 
 
 def _f32(x: float) -> float:
@@ -83,6 +94,12 @@ class HybridTree:
         out-of-range points arrive.
     store / stats:
         Optional page store and shared I/O accountant.
+    on_corruption:
+        Query-time policy when a page fails its integrity check
+        (:class:`PageCorruptionError`).  ``"raise"`` (default) propagates
+        the error; ``"scan"`` degrades the query to a sequential scan over
+        the intact data pages of the backing file — answers stay available
+        mid-workload, minus any entries whose data pages were lost.
     """
 
     def __init__(
@@ -98,6 +115,7 @@ class HybridTree:
         bounds: Rect | None = None,
         store: PageStore | None = None,
         stats: IOStats | None = None,
+        on_corruption: str = "raise",
     ):
         if dims < 1:
             raise ValueError("dims must be >= 1")
@@ -116,6 +134,10 @@ class HybridTree:
             raise ValueError("bounds dimensionality mismatch")
         if split_policy == POLICY_RR:
             reset_round_robin()
+        if on_corruption not in ON_CORRUPTION_POLICIES:
+            raise ValueError(f"on_corruption must be one of {ON_CORRUPTION_POLICIES}")
+        self.on_corruption = on_corruption
+        self.degraded_queries = 0
         self.nm = NodeManager(store=store, stats=stats)
         self.els = ELSTable(dims, els_bits)
         self._root_id = self.nm.allocate()
@@ -554,7 +576,11 @@ class HybridTree:
             if query.high[kd.dim] >= kd.rsp:
                 walk(kd.right, region.clip_above(kd.dim, kd.rsp))
 
-        visit(self._root_id, self.bounds)
+        try:
+            visit(self._root_id, self.bounds)
+        except PageCorruptionError as exc:
+            vectors, oids = self._degrade(exc)
+            return [int(o) for o in oids[query.contains_points_mask(vectors)]]
         return [int(o) for arr in results for o in arr]
 
     def point_search(self, vector: np.ndarray) -> list[int]:
@@ -596,7 +622,15 @@ class HybridTree:
             if metric.mindist_rect(q, right_region.low, right_region.high) <= radius:
                 walk(kd.right, right_region)
 
-        visit(self._root_id, self.bounds)
+        try:
+            visit(self._root_id, self.bounds)
+        except PageCorruptionError as exc:
+            vectors, oids = self._degrade(exc)
+            dists = metric.distance_batch(vectors.astype(np.float64), q)
+            return [
+                (int(oids[i]), float(dists[i]))
+                for i in np.flatnonzero(dists <= radius)
+            ]
         return out
 
     def knn(
@@ -633,30 +667,38 @@ class HybridTree:
         def kth() -> float:
             return -best[0][0] if len(best) >= k else np.inf
 
-        while frontier:
-            bound, _, node_id, region = heapq.heappop(frontier)
-            if bound > kth() * shrink:
-                break
-            node = self.nm.get(node_id)
-            if isinstance(node, DataNode):
-                if not node.count:
+        try:
+            while frontier:
+                bound, _, node_id, region = heapq.heappop(frontier)
+                if bound > kth() * shrink:
+                    break
+                node = self.nm.get(node_id)
+                if isinstance(node, DataNode):
+                    if not node.count:
+                        continue
+                    dists = metric.distance_batch(node.points().astype(np.float64), q)
+                    for i, dist in enumerate(dists):
+                        dist = float(dist)
+                        oid = int(node.live_oids()[i])
+                        if len(best) < k:
+                            heapq.heappush(best, (-dist, -oid))
+                        elif (dist, oid) < (-best[0][0], -best[0][1]):
+                            heapq.heapreplace(best, (-dist, -oid))
                     continue
-                dists = metric.distance_batch(node.points().astype(np.float64), q)
-                for i, dist in enumerate(dists):
-                    dist = float(dist)
-                    oid = int(node.live_oids()[i])
-                    if len(best) < k:
-                        heapq.heappush(best, (-dist, -oid))
-                    elif (dist, oid) < (-best[0][0], -best[0][1]):
-                        heapq.heapreplace(best, (-dist, -oid))
-                continue
-            for child_id, child_region in node.children_with_regions(region):
-                live = self.els.effective_rect(child_id, child_region)
-                child_bound = metric.mindist_rect(q, live.low, live.high)
-                if child_bound <= kth() * shrink:
-                    heapq.heappush(
-                        frontier, (child_bound, next(counter), child_id, child_region)
-                    )
+                for child_id, child_region in node.children_with_regions(region):
+                    live = self.els.effective_rect(child_id, child_region)
+                    child_bound = metric.mindist_rect(q, live.low, live.high)
+                    if child_bound <= kth() * shrink:
+                        heapq.heappush(
+                            frontier,
+                            (child_bound, next(counter), child_id, child_region),
+                        )
+        except PageCorruptionError as exc:
+            vectors, oids = self._degrade(exc)
+            dists = metric.distance_batch(vectors.astype(np.float64), q)
+            # Same deterministic (distance, oid) order the traversal returns.
+            order = np.lexsort((oids, dists))[:k]
+            return [(int(oids[i]), float(dists[i])) for i in order]
         return sorted(
             ((-neg_oid, -neg_dist) for neg_dist, neg_oid in best),
             key=lambda t: (t[1], t[0]),
@@ -727,8 +769,56 @@ class HybridTree:
             if query.high[kd.dim] >= kd.rsp:
                 walk(kd.right, region.clip_above(kd.dim, kd.rsp))
 
-        visit(self._root_id, self.bounds)
+        try:
+            visit(self._root_id, self.bounds)
+        except PageCorruptionError as exc:
+            vectors, _ = self._degrade(exc)
+            return int(query.contains_points_mask(vectors).sum())
         return total
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (``on_corruption="scan"``)
+    # ------------------------------------------------------------------
+    def _degrade(self, exc: PageCorruptionError) -> tuple[np.ndarray, np.ndarray]:
+        """Handle a corrupt page hit mid-query per ``self.on_corruption``.
+
+        Policy ``"raise"`` re-raises the typed error; ``"scan"`` abandons
+        the index traversal and answers from a sequential scan of the
+        intact data pages (see :meth:`_scan_entries`), trading the index's
+        pruning for availability.
+        """
+        if self.on_corruption != "scan" or self.nm.codec is None:
+            raise exc
+        self.degraded_queries += 1
+        return self._scan_entries()
+
+    def _scan_entries(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sequentially scan every allocated page, collecting the entries of
+        all data pages that still verify; corrupt or non-data pages are
+        skipped.  Charges one sequential read per page scanned (the
+        degraded query pays a relation-scan cost, not an index cost).
+
+        Answers reflect the pages as persisted — the last ``save()`` plus
+        any flushed mutations — which is exactly what survives a crash.
+        """
+        store = self.nm.store
+        vec_parts: list[np.ndarray] = []
+        oid_parts: list[np.ndarray] = []
+        for page_id in range(store._next_id):
+            self.nm.stats.record(AccessKind.SEQUENTIAL_READ)
+            try:
+                node = self.nm.codec.decode(store.read(page_id, charge=False))
+            except (PageCorruptionError, ValueError, KeyError):
+                continue
+            if isinstance(node, DataNode) and node.count:
+                vec_parts.append(node.points().copy())
+                oid_parts.append(node.live_oids().copy())
+        if not vec_parts:
+            return (
+                np.empty((0, self.dims), dtype=np.float32),
+                np.empty(0, dtype=np.int64),
+            )
+        return np.vstack(vec_parts), np.concatenate(oid_parts).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Batch queries (repro.engine: one shared traversal serves the batch)
@@ -772,27 +862,39 @@ class HybridTree:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
-        """Write the tree to a real page file (plus sidecar catalog/ELS).
+        """Write the tree to a single crash-consistent page file.
 
-        ``path`` receives the 4096-byte pages; ``path + '.meta.json'`` the
-        catalog (root id, height, bounds, parameters) and
-        ``path + '.els.npz'`` the in-memory ELS table (Section 3.4 keeps ELS
-        out of the pages).
+        The file holds the node pages at their stable allocator ids,
+        followed by blob pages (the in-memory ELS table — Section 3.4 keeps
+        ELS out of the node pages — the free list, and the data-space
+        bounds) and a trailing superblock: root page id, page count, tree
+        parameters and a checksum-of-checksums over the node pages (see
+        :mod:`repro.storage.superblock`).  Every page is framed with a
+        whole-page CRC32.
 
-        Every artefact is written to a temporary sibling and atomically
-        renamed into place, so saving a lazily-faulting reopened tree *over
-        its own path* is safe (the page file it still reads from is never
-        deleted) and a crash mid-save leaves the previous save intact.
+        The whole image is written to a temporary sibling, fsynced, and
+        published with one atomic ``os.replace`` — so saving a
+        lazily-faulting reopened tree *over its own path* is safe (the file
+        it still reads from is never modified in place) and a crash at any
+        write boundary leaves either the previous save or the new one,
+        never a mixture.
         """
         from repro.storage.serialization import HybridNodeCodec
 
         path = os.fspath(path)
-        codec = HybridNodeCodec(self.dims, self.data_capacity)
+        codec = HybridNodeCodec(self.dims, self.data_capacity, self.layout.page_size)
         tmp_pages = path + ".tmp"
         if os.path.exists(tmp_pages):
             os.remove(tmp_pages)
-        with FilePageStore(tmp_pages, self.layout.page_size) as store:
+        generation = 0
+        try:
+            old_manifest, _ = superblock_io.read_superblock(path)
+            generation = int(old_manifest.get("generation", 0)) + 1
+        except (FileNotFoundError, PageCorruptionError, ValueError, KeyError):
+            pass
+        with _save_store(tmp_pages, self.layout.page_size) as store:
             seen: set[int] = set()
+            crc_by_id: dict[int, int] = {}
             stack = [self._root_id]
             while stack:
                 node_id = stack.pop()
@@ -801,26 +903,43 @@ class HybridTree:
                 seen.add(node_id)
                 store.ensure_allocated(node_id)  # keep page ids stable
                 node = self.nm.get(node_id, charge=False)
-                store.write(node_id, codec.encode(node))
+                page = codec.encode(node)
+                crc_by_id[node_id] = struct.unpack_from("<I", page, 16)[0]
+                store.write(node_id, page)
                 if isinstance(node, IndexNode):
                     stack.extend(node.child_ids())
+            page_count = store._next_id
+            # Freed pages are exactly the allocator ids no live node owns;
+            # recompute from reachability so the persisted free list is
+            # correct even if in-memory free-list state drifted.
+            free_ids = [pid for pid in range(page_count) if pid not in seen]
+            manifest = {
+                "format": superblock_io.SUPERBLOCK_FORMAT,
+                "generation": generation,
+                "page_size": self.layout.page_size,
+                "page_count": page_count,
+                "dims": self.dims,
+                "min_fill": self.min_fill,
+                "split_policy": self.split_policy,
+                "split_position": self.split_position,
+                "els_bits": self.els.bits,
+                "expected_query_side": self.expected_query_side,
+                "root_id": self._root_id,
+                "height": self._height,
+                "count": self._count,
+                "checksum_of_checksums": superblock_io.checksum_of_checksums(
+                    [crc_by_id.get(pid, 0) for pid in range(page_count)]
+                ),
+            }
+            superblock_io.append_tail(
+                store, manifest, {"els": self._els_blob(free_ids)}
+            )
             store.flush()
-        meta = {
-            "dims": self.dims,
-            "page_size": self.layout.page_size,
-            "min_fill": self.min_fill,
-            "split_policy": self.split_policy,
-            "split_position": self.split_position,
-            "els_bits": self.els.bits,
-            "expected_query_side": self.expected_query_side,
-            "root_id": self._root_id,
-            "height": self._height,
-            "count": self._count,
-            "bounds_low": self.bounds.low.tolist(),
-            "bounds_high": self.bounds.high.tolist(),
-        }
-        with open(path + ".meta.json.tmp", "w") as f:
-            json.dump(meta, f)
+        os.replace(tmp_pages, path)
+        self._fsync_dir(path)
+
+    def _els_blob(self, free_ids: list[int]) -> bytes:
+        """Serialize the ELS table, free list and bounds into one npz blob."""
         entries = self.els.items()
         node_ids = np.array([node_id for node_id, _ in entries], dtype=np.int64)
         lows = (
@@ -833,11 +952,32 @@ class HybridTree:
             if entries
             else np.empty((0, self.dims))
         )
-        np.savez(path + ".els.tmp.npz", node_ids=node_ids, lows=lows, highs=highs)
-        # Publish all three artefacts only once fully written.
-        os.replace(tmp_pages, path)
-        os.replace(path + ".meta.json.tmp", path + ".meta.json")
-        os.replace(path + ".els.tmp.npz", path + ".els.npz")
+        buf = io.BytesIO()
+        np.savez(
+            buf,
+            node_ids=node_ids,
+            lows=lows,
+            highs=highs,
+            free_ids=np.asarray(free_ids, dtype=np.int64),
+            bounds_low=self.bounds.low,
+            bounds_high=self.bounds.high,
+        )
+        return buf.getvalue()
+
+    @staticmethod
+    def _fsync_dir(path: str) -> None:
+        """Make the rename durable (best effort on non-POSIX platforms)."""
+        parent = os.path.dirname(os.path.abspath(path)) or "."
+        try:
+            dfd = os.open(parent, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dfd)
+        except OSError:
+            pass
+        finally:
+            os.close(dfd)
 
     @classmethod
     def open(
@@ -845,6 +985,7 @@ class HybridTree:
         path: str | os.PathLike,
         stats: IOStats | None = None,
         buffer_pages: int | None = None,
+        on_corruption: str = "raise",
     ) -> "HybridTree":
         """Reopen a saved tree; nodes fault in lazily from the page file.
 
@@ -853,34 +994,51 @@ class HybridTree:
         behaviour of a disk-resident index under a fixed buffer pool.  The
         default (``None``) caches every touched node and charges one access
         per visit, the paper's cold-query accounting.
+
+        Every page read verifies the page's frame (magic + CRC32) and
+        raises :class:`PageCorruptionError` on mismatch; ``on_corruption``
+        selects the query-time response (``"raise"`` or ``"scan"``).  The
+        file itself is opened copy-on-write: all mutations stay in memory
+        until the next ``save()``, so the published file can never be
+        half-updated by a crash mid-session.
         """
         from repro.storage.serialization import HybridNodeCodec
 
         path = os.fspath(path)
-        with open(path + ".meta.json") as f:
-            meta = json.load(f)
+        manifest, page_size = superblock_io.read_superblock(path)
+        blob = np.load(
+            io.BytesIO(superblock_io.read_blob(path, manifest, "els", page_size))
+        )
         tree = cls.__new__(cls)
-        tree.dims = meta["dims"]
-        tree.layout = PageLayout(page_size=meta["page_size"])
+        tree.dims = int(manifest["dims"])
+        tree.layout = PageLayout(page_size=page_size)
         tree.data_capacity = data_node_capacity(tree.dims, tree.layout)
         tree.index_capacity = kdtree_node_capacity(tree.dims, tree.layout)
-        tree.min_fill = meta["min_fill"]
-        tree.split_policy = meta["split_policy"]
-        tree.split_position = meta["split_position"]
-        tree.expected_query_side = meta["expected_query_side"]
-        tree.bounds = Rect(meta["bounds_low"], meta["bounds_high"])
-        store = FilePageStore(path, meta["page_size"], stats=stats)
-        codec = HybridNodeCodec(tree.dims, tree.data_capacity)
+        tree.min_fill = manifest["min_fill"]
+        tree.split_policy = manifest["split_policy"]
+        tree.split_position = manifest["split_position"]
+        tree.expected_query_side = manifest["expected_query_side"]
+        tree.bounds = Rect(blob["bounds_low"], blob["bounds_high"])
+        if on_corruption not in ON_CORRUPTION_POLICIES:
+            raise ValueError(f"on_corruption must be one of {ON_CORRUPTION_POLICIES}")
+        tree.on_corruption = on_corruption
+        tree.degraded_queries = 0
+        store = OverlayPageStore(
+            FilePageStore(path, page_size, stats=stats, checksums=True)
+        )
+        store.set_allocator_state(
+            int(manifest["page_count"]), [int(pid) for pid in blob["free_ids"]]
+        )
+        codec = HybridNodeCodec(tree.dims, tree.data_capacity, page_size)
         tree.nm = NodeManager(
             store=store, codec=codec, stats=stats, max_cached=buffer_pages
         )
-        tree.els = ELSTable(tree.dims, meta["els_bits"])
-        data = np.load(path + ".els.npz")
-        for node_id, low, high in zip(data["node_ids"], data["lows"], data["highs"]):
+        tree.els = ELSTable(tree.dims, int(manifest["els_bits"]))
+        for node_id, low, high in zip(blob["node_ids"], blob["lows"], blob["highs"]):
             tree.els.set(int(node_id), Rect(low, high))
-        tree._root_id = meta["root_id"]
-        tree._height = meta["height"]
-        tree._count = meta["count"]
+        tree._root_id = int(manifest["root_id"])
+        tree._height = int(manifest["height"])
+        tree._count = int(manifest["count"])
         return tree
 
     # ------------------------------------------------------------------

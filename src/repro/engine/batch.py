@@ -42,6 +42,7 @@ from repro.core.nodes import DataNode, IndexNode
 from repro.distances import L2, Metric, mindist_rect_many
 from repro.engine.metrics import BatchMetrics
 from repro.geometry.rect import Rect
+from repro.storage.errors import PageCorruptionError
 
 __all__ = [
     "range_search_many",
@@ -133,8 +134,16 @@ def range_search_many(
         if right.size:
             walk(kd.right, region.clip_above(kd.dim, kd.rsp), right)
 
-    visit(tree.root_id, tree.bounds, np.arange(n))
-    out = [[int(o) for arr in per_query for o in arr] for per_query in results]
+    try:
+        visit(tree.root_id, tree.bounds, np.arange(n))
+    except PageCorruptionError as exc:
+        # Same policy as the single-query path: ``on_corruption="scan"``
+        # answers the whole batch from one sequential scan.
+        vectors, oids = tree._degrade(exc)
+        inside = Rect.boxes_contain_points_mask(lows, highs, vectors)
+        out = [[int(o) for o in oids[row]] for row in inside]
+    else:
+        out = [[int(o) for arr in per_query for o in arr] for per_query in results]
     return _finish(out, visits, tree, start, reads0, return_metrics, "range-batch")
 
 
@@ -200,7 +209,20 @@ def distance_range_many(
         if right.size:
             walk(kd.right, right_region, right)
 
-    visit(tree.root_id, tree.bounds, np.arange(n))
+    try:
+        visit(tree.root_id, tree.bounds, np.arange(n))
+    except PageCorruptionError as exc:
+        vectors, oids = tree._degrade(exc)
+        points64 = vectors.astype(np.float64)
+        out = []
+        for qi in range(n):
+            dists = metric.distance_batch(points64, qs[qi])
+            out.append(
+                [
+                    (int(oids[i]), float(dists[i]))
+                    for i in np.flatnonzero(dists <= radii[qi])
+                ]
+            )
     return _finish(out, visits, tree, start, reads0, return_metrics, "distance-batch")
 
 
@@ -272,14 +294,24 @@ def knn_many(
             if sub.size:
                 visit(child_id, child_region, sub)
 
-    visit(tree.root_id, tree.bounds, np.arange(n))
-    out = [
-        sorted(
-            ((-neg_oid, -neg_dist) for neg_dist, neg_oid in best),
-            key=lambda t: (t[1], t[0]),
-        )
-        for best in heaps
-    ]
+    try:
+        visit(tree.root_id, tree.bounds, np.arange(n))
+    except PageCorruptionError as exc:
+        vectors, oids = tree._degrade(exc)
+        points64 = vectors.astype(np.float64)
+        out = []
+        for qi in range(n):
+            dists = metric.distance_batch(points64, qs[qi])
+            order = np.lexsort((oids, dists))[:k]
+            out.append([(int(oids[i]), float(dists[i])) for i in order])
+    else:
+        out = [
+            sorted(
+                ((-neg_oid, -neg_dist) for neg_dist, neg_oid in best),
+                key=lambda t: (t[1], t[0]),
+            )
+            for best in heaps
+        ]
     return _finish(out, visits, tree, start, reads0, return_metrics, "knn-batch")
 
 

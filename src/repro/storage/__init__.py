@@ -14,38 +14,72 @@ that makes those numbers meaningful in a pure-Python reproduction:
 - :mod:`repro.storage.nodemanager` -- the node cache every index runs through;
   it charges one page access per node visit and, when file-backed, round-trips
   nodes through ``struct``-packed pages.
-- :mod:`repro.storage.serialization` -- byte-level node codecs.
+- :mod:`repro.storage.serialization` -- byte-level node codecs; every page
+  is framed with a header and whole-page CRC32 (:mod:`repro.storage.page`).
+- :mod:`repro.storage.errors` -- the typed storage exception hierarchy
+  (corruption, transient faults, simulated crashes).
+- :mod:`repro.storage.faults` -- a seeded fault-injecting store decorator.
+- :mod:`repro.storage.superblock` -- the single-file saved-tree commit
+  record (blob pages + trailing superblock).
+- :mod:`repro.storage.recovery` -- fsck (:func:`verify`) and data-page
+  salvage for saved tree files.
 """
 
 from repro.storage.buffer import LRUBufferPool
+from repro.storage.errors import (
+    CrashError,
+    PageCorruptionError,
+    RecoveryError,
+    StorageError,
+    TransientStorageError,
+)
+from repro.storage.faults import FaultInjectingPageStore
 from repro.storage.iostats import AccessKind, IOStats
 from repro.storage.nodemanager import NodeManager
 from repro.storage.page import (
     DEFAULT_PAGE_SIZE,
     PAGE_HEADER_SIZE,
+    PageHeader,
     PageLayout,
     data_node_capacity,
+    frame_page,
     kdtree_node_capacity,
     rtree_node_capacity,
     srtree_node_capacity,
     sstree_node_capacity,
+    unframe_page,
 )
-from repro.storage.pagestore import FilePageStore, InMemoryPageStore, PageStore
+from repro.storage.pagestore import (
+    FilePageStore,
+    InMemoryPageStore,
+    OverlayPageStore,
+    PageStore,
+)
 
 __all__ = [
     "AccessKind",
+    "CrashError",
     "DEFAULT_PAGE_SIZE",
+    "FaultInjectingPageStore",
     "FilePageStore",
     "InMemoryPageStore",
     "IOStats",
     "LRUBufferPool",
     "NodeManager",
+    "OverlayPageStore",
     "PAGE_HEADER_SIZE",
+    "PageCorruptionError",
+    "PageHeader",
     "PageLayout",
     "PageStore",
+    "RecoveryError",
+    "StorageError",
+    "TransientStorageError",
     "data_node_capacity",
+    "frame_page",
     "kdtree_node_capacity",
     "rtree_node_capacity",
     "srtree_node_capacity",
     "sstree_node_capacity",
+    "unframe_page",
 ]

@@ -1,0 +1,50 @@
+"""Typed storage failures.
+
+Production hierarchies distinguish *what the caller can do about it*:
+
+- :class:`PageCorruptionError` — the bytes on disk are not what was written
+  (torn write, bit flip, truncation).  Retrying will not help; the caller
+  must fail the operation, degrade to a sequential scan over intact data
+  pages, or run :func:`repro.storage.recovery.salvage`.
+- :class:`TransientStorageError` — the device hiccuped (the 1999 analogue:
+  a SCSI bus reset).  :class:`~repro.storage.nodemanager.NodeManager`
+  retries these with bounded backoff.
+- :class:`CrashError` — the simulated process died mid-operation.  Raised
+  only by :class:`~repro.storage.faults.FaultInjectingPageStore`; the
+  crash-matrix tests treat everything after it as a fresh process.
+
+``PageCorruptionError`` subclasses :class:`ValueError` so pre-existing
+callers that treated undecodable pages as value errors keep working.
+"""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for storage-substrate failures."""
+
+
+class PageCorruptionError(StorageError, ValueError):
+    """A page failed its integrity check (magic, version, or CRC32).
+
+    Carries the offending ``page_id`` (when known) and a human-readable
+    ``reason`` so fsck reports can aggregate per-page findings.
+    """
+
+    def __init__(self, reason: str, page_id: int | None = None):
+        self.page_id = page_id
+        self.reason = reason
+        where = f"page {page_id}: " if page_id is not None else ""
+        super().__init__(f"{where}{reason}")
+
+
+class TransientStorageError(StorageError, IOError):
+    """A retriable I/O fault; the same operation may succeed if reissued."""
+
+
+class CrashError(StorageError, RuntimeError):
+    """The simulated process crashed; the store accepts no further I/O."""
+
+
+class RecoveryError(StorageError):
+    """Salvage could not recover anything usable from the file."""

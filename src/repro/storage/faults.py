@@ -1,0 +1,195 @@
+"""Deterministic fault injection for the paged storage substrate.
+
+:class:`FaultInjectingPageStore` wraps any :class:`PageStore` and injects
+the failure modes a real 1999 disk subsystem exhibits, under a seeded RNG
+so every test run replays identically:
+
+- **transient I/O errors** (:class:`TransientStorageError`): the operation
+  fails but would succeed if reissued — exercised against
+  :class:`~repro.storage.nodemanager.NodeManager`'s bounded retry loop;
+- **torn writes**: only a prefix of the page reaches the platter before
+  the process dies (the tail reads back as zeros);
+- **bit flips**: a single bit of a stored page is inverted at rest,
+  modelling media decay — every flip must surface as a
+  :class:`~repro.storage.errors.PageCorruptionError` on the next checked
+  read;
+- **crash after N writes** (:class:`CrashError`): the simulated process
+  dies at an exact write boundary; all subsequent I/O through this store
+  fails until :meth:`revive`, and the crash-matrix tests reopen the file
+  as a fresh process would.
+
+The wrapper shares the inner store's allocator and ``IOStats``, and —
+critically for the accounting tests — raises *before* delegating, so a
+failed attempt is never charged and a retried success is charged exactly
+once.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.storage.errors import CrashError, TransientStorageError
+from repro.storage.iostats import AccessKind
+from repro.storage.pagestore import PageStore
+
+
+class FaultInjectingPageStore(PageStore):
+    """A :class:`PageStore` decorator with scriptable, seeded faults."""
+
+    def __init__(self, inner: PageStore, seed: int = 0):
+        # Deliberately skip PageStore.__init__: allocator state lives in
+        # the inner store and is delegated below.
+        self.inner = inner
+        self.page_size = inner.page_size
+        self.stats = inner.stats
+        self.rng = random.Random(seed)
+        self.crashed = False
+        self._transient_reads = 0
+        self._transient_writes = 0
+        self._writes_until_crash: int | None = None
+        self._torn_crash = False
+        self.reads = 0
+        self.writes = 0
+        self.faults_injected = 0
+
+    # -- allocator delegation ------------------------------------------
+    def allocate(self) -> int:
+        return self.inner.allocate()
+
+    def free(self, page_id: int) -> None:
+        self.inner.free(page_id)
+
+    def ensure_allocated(self, page_id: int) -> None:
+        self.inner.ensure_allocated(page_id)
+
+    def set_allocator_state(self, next_id, free_ids) -> None:
+        self.inner.set_allocator_state(next_id, free_ids)
+
+    @property
+    def free_page_ids(self) -> list[int]:
+        return self.inner.free_page_ids
+
+    @property
+    def allocated_pages(self) -> int:
+        return self.inner.allocated_pages
+
+    @property
+    def _next_id(self) -> int:
+        return self.inner._next_id
+
+    def _validate_id(self, page_id: int) -> None:
+        self.inner._validate_id(page_id)
+
+    # -- fault scripting -----------------------------------------------
+    def fail_reads(self, count: int) -> None:
+        """Make the next ``count`` reads raise :class:`TransientStorageError`."""
+        self._transient_reads = count
+
+    def fail_writes(self, count: int) -> None:
+        """Make the next ``count`` writes raise :class:`TransientStorageError`."""
+        self._transient_writes = count
+
+    def crash_after_writes(self, count: int, torn: bool = False) -> None:
+        """Die at the ``count``-th upcoming write boundary.
+
+        With ``torn=True`` the fatal write persists a random prefix of the
+        page (at least one byte, never the whole page) before the crash —
+        the classic torn page.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._writes_until_crash = count
+        self._torn_crash = torn
+
+    def flip_bit(self, page_id: int, bit: int | None = None) -> int:
+        """Invert one bit of the stored page at rest; returns the bit index.
+
+        Goes under the inner store's verification and accounting: the
+        corruption is only discovered by a later checked read.
+        """
+        raw = bytearray(self._raw_read(page_id))
+        if bit is None:
+            bit = self.rng.randrange(len(raw) * 8)
+        raw[bit // 8] ^= 1 << (bit % 8)
+        self.inner.write(page_id, bytes(raw), charge=False)
+        flush = getattr(self.inner, "flush", None)
+        if flush is not None:
+            flush()  # decay at rest must be visible to other handles
+        self.faults_injected += 1
+        return bit
+
+    def revive(self) -> None:
+        """Clear the crashed flag (a 'new process' over the same store)."""
+        self.crashed = False
+        self._writes_until_crash = None
+
+    def _raw_read(self, page_id: int) -> bytes:
+        """Read without charging and without checksum verification."""
+        checked = getattr(self.inner, "checksums", False)
+        if checked:
+            self.inner.checksums = False
+        try:
+            return self.inner.read(page_id, charge=False)
+        finally:
+            if checked:
+                self.inner.checksums = True
+
+    # -- the injected I/O path -----------------------------------------
+    def read(
+        self,
+        page_id: int,
+        kind: AccessKind = AccessKind.RANDOM_READ,
+        charge: bool = True,
+    ) -> bytes:
+        if self.crashed:
+            raise CrashError("store crashed; no further I/O")
+        if self._transient_reads > 0:
+            self._transient_reads -= 1
+            self.faults_injected += 1
+            raise TransientStorageError(f"injected transient read fault (page {page_id})")
+        self.reads += 1
+        return self.inner.read(page_id, kind, charge)
+
+    def write(
+        self,
+        page_id: int,
+        data: bytes,
+        kind: AccessKind = AccessKind.RANDOM_WRITE,
+        charge: bool = True,
+    ) -> None:
+        if self.crashed:
+            raise CrashError("store crashed; no further I/O")
+        if self._transient_writes > 0:
+            self._transient_writes -= 1
+            self.faults_injected += 1
+            raise TransientStorageError(f"injected transient write fault (page {page_id})")
+        if self._writes_until_crash is not None and self._writes_until_crash == 0:
+            self.crashed = True
+            self.faults_injected += 1
+            if self._torn_crash and len(data) > 1:
+                prefix = self.rng.randrange(1, max(2, len(data)))
+                self.inner.write(page_id, data[:prefix], kind, charge=False)
+            raise CrashError(f"injected crash at write to page {page_id}")
+        if self._writes_until_crash is not None:
+            self._writes_until_crash -= 1
+        self.writes += 1
+        self.inner.write(page_id, data, kind, charge)
+
+    # -- passthroughs used by save()/close paths -----------------------
+    def flush(self) -> None:
+        if self.crashed:
+            raise CrashError("store crashed; no further I/O")
+        flush = getattr(self.inner, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "FaultInjectingPageStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -17,9 +17,11 @@ access while the accounting stays identical to a cold, unbuffered disk.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Any, Protocol
 
+from repro.storage.errors import TransientStorageError
 from repro.storage.iostats import AccessKind, IOStats
 from repro.storage.pagestore import InMemoryPageStore, PageStore
 
@@ -48,6 +50,15 @@ class NodeManager:
         faulting nodes in from a persistent store.
     stats:
         Shared I/O accountant.  Defaults to the store's.
+    max_retries / retry_backoff:
+        Transient store faults (:class:`TransientStorageError`) are retried
+        up to ``max_retries`` times with exponential backoff starting at
+        ``retry_backoff`` seconds.  Permanent errors — including
+        :class:`~repro.storage.errors.PageCorruptionError` and
+        :class:`~repro.storage.errors.CrashError` — are never retried and
+        surface unchanged.  A failed attempt is never charged to
+        :class:`IOStats` (stores record only on success), so a retried
+        operation costs exactly one access.
     """
 
     def __init__(
@@ -56,9 +67,16 @@ class NodeManager:
         codec: NodeCodec | None = None,
         stats: IOStats | None = None,
         max_cached: int | None = None,
+        max_retries: int = 4,
+        retry_backoff: float = 0.001,
     ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.store = store if store is not None else InMemoryPageStore()
         self.codec = codec
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retries_performed = 0
         self.stats = stats if stats is not None else self.store.stats
         if max_cached is not None:
             if max_cached < 1:
@@ -103,7 +121,7 @@ class NodeManager:
             return node
         if self.codec is None:
             raise KeyError(f"node {page_id} not cached and no codec to fault it in")
-        data = self.store.read(page_id, charge=charge)
+        data = self._store_read(page_id, charge=charge)
         node = self.codec.decode(data)
         self._cache[page_id] = node
         self._evict_if_needed()
@@ -130,7 +148,7 @@ class NodeManager:
                 return
             node = self._cache.pop(victim)
             if victim in self._dirty:
-                self.store.write(victim, self.codec.encode(node))
+                self._store_write(victim, self.codec.encode(node))
                 self._dirty.discard(victim)
 
     def free(self, page_id: int) -> None:
@@ -173,10 +191,32 @@ class NodeManager:
             raise RuntimeError("flush() requires a codec")
         written = 0
         for page_id in sorted(self._dirty):
-            self.store.write(page_id, self.codec.encode(self._cache[page_id]))
+            self._store_write(page_id, self.codec.encode(self._cache[page_id]))
             written += 1
         self._dirty.clear()
         return written
+
+    # ------------------------------------------------------------------
+    # Retried store I/O (transient faults only)
+    # ------------------------------------------------------------------
+    def _store_read(self, page_id: int, charge: bool) -> bytes:
+        return self._with_retry(lambda: self.store.read(page_id, charge=charge))
+
+    def _store_write(self, page_id: int, data: bytes) -> None:
+        self._with_retry(lambda: self.store.write(page_id, data))
+
+    def _with_retry(self, op):
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except TransientStorageError:
+                if attempt >= self.max_retries:
+                    raise
+                if self.retry_backoff > 0:
+                    time.sleep(self.retry_backoff * (2**attempt))
+                attempt += 1
+                self.retries_performed += 1
 
     def evict_all(self) -> None:
         """Drop the object cache (dirty nodes must be flushed first).

@@ -6,15 +6,23 @@ Both stores expose the same interface — ``allocate``/``read``/``write``/
 (identical accounting, no packing cost); persistence tests and the
 ``HybridTree.save``/``open`` round trip use the file store, which lays pages
 out contiguously in a single file exactly like a 1999 database heap file.
+
+:class:`OverlayPageStore` adds copy-on-write on top of a file store: a
+reopened tree reads through to the saved file but buffers every write in
+memory, so the published save stays byte-identical until the next
+``save()`` republishes atomically — a crash mid-session can never corrupt
+the on-disk tree.
 """
 
 from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+from collections.abc import Iterable
 
+from repro.storage.errors import PageCorruptionError
 from repro.storage.iostats import AccessKind, IOStats
-from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.page import DEFAULT_PAGE_SIZE, unframe_page
 
 
 class PageStore(ABC):
@@ -27,18 +35,30 @@ class PageStore(ABC):
         self.stats = stats if stats is not None else IOStats()
         self._next_id = 0
         self._free_list: list[int] = []
+        self._free_set: set[int] = set()
 
     def allocate(self) -> int:
         """Reserve a fresh page id (recycling freed pages first)."""
         if self._free_list:
-            return self._free_list.pop()
+            page_id = self._free_list.pop()
+            self._free_set.discard(page_id)
+            return page_id
         page_id = self._next_id
         self._next_id += 1
         return page_id
 
     def free(self, page_id: int) -> None:
-        """Return a page to the allocator."""
+        """Return a page to the allocator.
+
+        Freeing the same id twice is rejected: a double free would put the
+        id on the free list twice, and two later ``allocate()`` calls would
+        hand the same page to different nodes — silent cross-linked
+        corruption, the worst failure mode an allocator can have.
+        """
         self._validate_id(page_id)
+        if page_id in self._free_set:
+            raise ValueError(f"double free of page {page_id}")
+        self._free_set.add(page_id)
         self._free_list.append(page_id)
 
     def ensure_allocated(self, page_id: int) -> None:
@@ -46,8 +66,27 @@ class PageStore(ABC):
 
         Used when mirroring a tree with stable page ids into a fresh store.
         """
-        while self._next_id <= page_id:
-            self._next_id += 1
+        self._next_id = max(self._next_id, page_id + 1)
+
+    def set_allocator_state(self, next_id: int, free_ids: Iterable[int]) -> None:
+        """Restore persisted allocator state (used by ``HybridTree.open``).
+
+        ``free_ids`` outside ``[0, next_id)`` are dropped: they refer to
+        pages past the end of the saved file and are simply unallocated.
+        """
+        if next_id < 0:
+            raise ValueError("next_id must be non-negative")
+        self._next_id = next_id
+        kept = [pid for pid in free_ids if 0 <= pid < next_id]
+        self._free_set = set(kept)
+        if len(self._free_set) != len(kept):
+            raise ValueError("free list contains duplicate page ids")
+        self._free_list = kept
+
+    @property
+    def free_page_ids(self) -> list[int]:
+        """The freed-but-not-reused page ids (persisted by ``save``)."""
+        return list(self._free_list)
 
     @property
     def allocated_pages(self) -> int:
@@ -75,7 +114,11 @@ class PageStore(ABC):
 
     @abstractmethod
     def write(
-        self, page_id: int, data: bytes, kind: AccessKind = AccessKind.RANDOM_WRITE
+        self,
+        page_id: int,
+        data: bytes,
+        kind: AccessKind = AccessKind.RANDOM_WRITE,
+        charge: bool = True,
     ) -> None:
         """Store ``data`` (at most ``page_size`` bytes), charging one access."""
 
@@ -96,29 +139,46 @@ class InMemoryPageStore(PageStore):
         self._validate_id(page_id)
         if charge:
             self.stats.record(kind)
-        return self._pages.get(page_id, b"\x00" * self.page_size)
+        return self._pages.get(page_id, b"\x00" * self.page_size).ljust(
+            self.page_size, b"\x00"
+        )
 
     def write(
-        self, page_id: int, data: bytes, kind: AccessKind = AccessKind.RANDOM_WRITE
+        self,
+        page_id: int,
+        data: bytes,
+        kind: AccessKind = AccessKind.RANDOM_WRITE,
+        charge: bool = True,
     ) -> None:
         self._validate_id(page_id)
         if len(data) > self.page_size:
             raise ValueError(f"page overflow: {len(data)} > {self.page_size} bytes")
-        self.stats.record(kind)
+        if charge:
+            self.stats.record(kind)
         self._pages[page_id] = data
 
 
 class FilePageStore(PageStore):
-    """Real file-backed pages: page ``i`` occupies bytes ``[i*P, (i+1)*P)``."""
+    """Real file-backed pages: page ``i`` occupies bytes ``[i*P, (i+1)*P)``.
+
+    With ``checksums=True`` every :meth:`read` verifies the page's frame
+    (magic + format version + whole-page CRC32, see
+    :func:`repro.storage.page.unframe_page`) and raises
+    :class:`PageCorruptionError` on any mismatch — the mode
+    ``HybridTree.save``/``open`` run in.  The default leaves pages opaque
+    for callers that store raw bytes.
+    """
 
     def __init__(
         self,
         path: str | os.PathLike,
         page_size: int = DEFAULT_PAGE_SIZE,
         stats: IOStats | None = None,
+        checksums: bool = False,
     ):
         super().__init__(page_size, stats)
         self.path = os.fspath(path)
+        self.checksums = checksums
         # "r+b" keeps existing content; create the file if absent.
         mode = "r+b" if os.path.exists(self.path) else "w+b"
         self._file = open(self.path, mode)
@@ -135,16 +195,23 @@ class FilePageStore(PageStore):
         if charge:
             self.stats.record(kind)
         self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
-        return data.ljust(self.page_size, b"\x00")
+        data = self._file.read(self.page_size).ljust(self.page_size, b"\x00")
+        if self.checksums:
+            unframe_page(data, page_id)
+        return data
 
     def write(
-        self, page_id: int, data: bytes, kind: AccessKind = AccessKind.RANDOM_WRITE
+        self,
+        page_id: int,
+        data: bytes,
+        kind: AccessKind = AccessKind.RANDOM_WRITE,
+        charge: bool = True,
     ) -> None:
         self._validate_id(page_id)
         if len(data) > self.page_size:
             raise ValueError(f"page overflow: {len(data)} > {self.page_size} bytes")
-        self.stats.record(kind)
+        if charge:
+            self.stats.record(kind)
         self._file.seek(page_id * self.page_size)
         self._file.write(data.ljust(self.page_size, b"\x00"))
 
@@ -160,3 +227,57 @@ class FilePageStore(PageStore):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class OverlayPageStore(PageStore):
+    """Copy-on-write view over a base store: reads fall through, writes
+    land in a private in-memory overlay.
+
+    ``HybridTree.open`` wraps its :class:`FilePageStore` in an overlay so
+    that dirty-node write-back from a bounded buffer pool (and any other
+    mid-session mutation) never touches the published save file; the file
+    changes only through ``save()``'s atomic rename.  Access accounting is
+    identical to writing through: every charged overlay access records
+    against the shared :class:`IOStats`.
+    """
+
+    def __init__(self, base: PageStore):
+        super().__init__(base.page_size, base.stats)
+        self.base = base
+        self._pages: dict[int, bytes] = {}
+        self._next_id = base._next_id
+
+    def read(
+        self,
+        page_id: int,
+        kind: AccessKind = AccessKind.RANDOM_READ,
+        charge: bool = True,
+    ) -> bytes:
+        self._validate_id(page_id)
+        if charge:
+            self.stats.record(kind)
+        page = self._pages.get(page_id)
+        if page is not None:
+            return page.ljust(self.page_size, b"\x00")
+        if page_id < self.base._next_id:
+            return self.base.read(page_id, charge=False)
+        return b"\x00" * self.page_size
+
+    def write(
+        self,
+        page_id: int,
+        data: bytes,
+        kind: AccessKind = AccessKind.RANDOM_WRITE,
+        charge: bool = True,
+    ) -> None:
+        self._validate_id(page_id)
+        if len(data) > self.page_size:
+            raise ValueError(f"page overflow: {len(data)} > {self.page_size} bytes")
+        if charge:
+            self.stats.record(kind)
+        self._pages[page_id] = data
+
+    def close(self) -> None:
+        close = getattr(self.base, "close", None)
+        if close is not None:
+            close()

@@ -1,8 +1,16 @@
 """Byte-level node codecs: packing hybrid-tree nodes into 4096-byte pages.
 
-Layouts (little-endian):
+Every encoded page is *framed*: the 32-byte header of
+:func:`repro.storage.page.frame_page` (magic, format version, kind, level,
+entry count, payload length, whole-page CRC32, reserved LSN) followed by
+the node payload.  ``decode`` verifies the frame before touching the
+payload, so a torn write or bit flip anywhere in the page surfaces as a
+typed :class:`~repro.storage.errors.PageCorruptionError` instead of
+silently decoding garbage.
 
-Data node page::
+Payload layouts (little-endian):
+
+Data node payload (header kind=1, level=0, entry_count=count)::
 
     u8  kind (=1)
     u16 count
@@ -10,7 +18,7 @@ Data node page::
     count * dims * f32   vectors
     count * u32          oids
 
-Index node page::
+Index node payload (header kind=2, level=level, entry_count=fanout)::
 
     u8  kind (=2)
     u16 level
@@ -20,8 +28,9 @@ Index node page::
 
 The preorder encoding needs no offsets (11 bytes per internal, 5 per leaf),
 comfortably inside the 14/4-byte entry budget the capacity model of
-:mod:`repro.storage.page` charges, so every node the capacity model admits is
-guaranteed to fit its page — asserted in ``encode``.
+:mod:`repro.storage.page` charges — and that capacity model already
+reserves the 32 header bytes — so every node the capacity model admits is
+guaranteed to fit its page, asserted in ``encode``.
 """
 
 from __future__ import annotations
@@ -32,6 +41,12 @@ import numpy as np
 
 from repro.core.kdnodes import KDInternal, KDLeaf, KDNode
 from repro.core.nodes import DataNode, IndexNode
+from repro.storage.page import (
+    PAGE_KIND_DATA,
+    PAGE_KIND_INDEX,
+    frame_page,
+    unframe_page,
+)
 
 _KIND_DATA = 1
 _KIND_INDEX = 2
@@ -53,25 +68,34 @@ class HybridNodeCodec:
 
     # ------------------------------------------------------------------
     def encode(self, node: DataNode | IndexNode) -> bytes:
+        """Serialize ``node`` into a full framed, CRC-protected page image."""
         if isinstance(node, DataNode):
-            data = self._encode_data(node)
+            payload = self._encode_data(node)
+            kind, level, entries = PAGE_KIND_DATA, 0, node.count
         elif isinstance(node, IndexNode):
-            data = self._encode_index(node)
+            payload = self._encode_index(node)
+            kind, level, entries = PAGE_KIND_INDEX, node.level, node.fanout
         else:
             raise TypeError(f"cannot encode {type(node).__name__}")
-        if len(data) > self.page_size:
+        if len(payload) > self.page_size - 32:
             raise ValueError(
-                f"encoded node ({len(data)} bytes) exceeds page size {self.page_size}"
+                f"encoded node ({len(payload)} bytes + 32 header) exceeds "
+                f"page size {self.page_size}"
             )
-        return data
+        return frame_page(payload, self.page_size, kind, level, entries)
 
-    def decode(self, data: bytes) -> DataNode | IndexNode:
-        kind = data[0]
-        if kind == _KIND_DATA:
+    def decode(self, page: bytes) -> DataNode | IndexNode:
+        """Verify the page frame and decode its payload.
+
+        Raises :class:`PageCorruptionError` if the frame check fails and
+        ``ValueError`` if an intact frame holds an inconsistent payload.
+        """
+        header, data = unframe_page(page)
+        if header.kind == PAGE_KIND_DATA and data[0] == _KIND_DATA:
             return self._decode_data(data)
-        if kind == _KIND_INDEX:
+        if header.kind == PAGE_KIND_INDEX and data[0] == _KIND_INDEX:
             return self._decode_index(data)
-        raise ValueError(f"unknown node kind {kind}")
+        raise ValueError(f"unknown node kind {header.kind}")
 
     # ------------------------------------------------------------------
     def _encode_data(self, node: DataNode) -> bytes:

@@ -1,0 +1,145 @@
+"""The saved-tree commit record: blob pages plus a trailing superblock.
+
+A saved hybrid tree is ONE file (no sidecars), laid out as::
+
+    [0, page_count)          node pages, at their stable allocator ids
+                             (freed pages are zero-filled holes)
+    [page_count, ...)        blob pages: named byte streams chunked into
+                             framed pages (the ELS table, the free list,
+                             the data-space bounds — all in one .npz blob)
+    last page                the superblock: a framed JSON manifest with
+                             the root page id, page count, tree parameters,
+                             blob locations and a checksum-of-checksums
+                             over all node pages
+
+Because everything lives in one file, ``HybridTree.save`` publishes a new
+tree with a single atomic ``os.replace`` — there is no window in which the
+pages, the ELS table and the catalog can disagree, which is exactly the
+crash-consistency hole the old three-sidecar format had.  The superblock is
+written last and the file is fsynced before the rename, so a crash at any
+write boundary leaves either the complete old file or the complete new one.
+
+``read_superblock`` discovers the page size by parsing the last page: the
+frame's whole-page CRC only validates at the true page size, and the JSON
+manifest records the size again for a consistency cross-check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+from repro.storage.errors import PageCorruptionError
+from repro.storage.page import (
+    PAGE_HEADER_SIZE,
+    PAGE_KIND_BLOB,
+    PAGE_KIND_SUPERBLOCK,
+    frame_page,
+    unframe_page,
+)
+
+SUPERBLOCK_FORMAT = 1
+
+_CANDIDATE_PAGE_SIZES = (4096, 512, 1024, 2048, 8192, 16384, 32768, 65536)
+
+
+def checksum_of_checksums(crcs: list[int]) -> int:
+    """Fold the per-page CRC32s (in page-id order) into one u32."""
+    packed = struct.pack(f"<{len(crcs)}I", *crcs) if crcs else b""
+    return zlib.crc32(packed) & 0xFFFFFFFF
+
+
+def append_tail(store, manifest: dict, blobs: dict[str, bytes]) -> None:
+    """Write ``blobs`` as framed pages after the node pages, then the
+    superblock as the final page.
+
+    ``store`` must be a page store whose allocator currently ends at the
+    last node page (``save`` guarantees this); blob pages and the
+    superblock take the ids after it.  ``manifest`` is extended in place
+    with the blob locations.
+    """
+    page_size = store.page_size
+    chunk = page_size - PAGE_HEADER_SIZE
+    locations: dict[str, dict[str, int]] = {}
+    for name in sorted(blobs):
+        blob = blobs[name]
+        start = store._next_id
+        pages = 0
+        for off in range(0, len(blob), chunk) or [0]:
+            pid = store._next_id
+            store.ensure_allocated(pid)
+            store.write(
+                pid,
+                frame_page(blob[off : off + chunk], page_size, PAGE_KIND_BLOB),
+                charge=False,
+            )
+            pages += 1
+        locations[name] = {"start": start, "pages": pages, "bytes": len(blob)}
+    manifest["blobs"] = locations
+    payload = json.dumps(manifest, sort_keys=True).encode()
+    pid = store._next_id
+    store.ensure_allocated(pid)
+    store.write(pid, frame_page(payload, page_size, PAGE_KIND_SUPERBLOCK), charge=False)
+
+
+def read_superblock(path: str | os.PathLike) -> tuple[dict, int]:
+    """Locate, verify and parse the superblock of a saved tree file.
+
+    Returns ``(manifest, page_size)``.  Raises ``FileNotFoundError`` if the
+    file is absent and :class:`PageCorruptionError` if no page size yields
+    a valid superblock as the last page (truncated file, torn superblock,
+    or a pre-superblock-format file).
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    reasons: list[str] = []
+    with open(path, "rb") as f:
+        for page_size in _CANDIDATE_PAGE_SIZES:
+            if size < page_size or size % page_size:
+                continue
+            f.seek(size - page_size)
+            page = f.read(page_size)
+            try:
+                header, payload = unframe_page(page, size // page_size - 1)
+            except PageCorruptionError as exc:
+                reasons.append(f"page_size {page_size}: {exc.reason}")
+                continue
+            if header.kind != PAGE_KIND_SUPERBLOCK:
+                reasons.append(f"page_size {page_size}: last page kind {header.kind}")
+                continue
+            manifest = json.loads(payload.decode())
+            if manifest.get("page_size") != page_size:
+                reasons.append(
+                    f"page_size {page_size}: manifest says {manifest.get('page_size')}"
+                )
+                continue
+            return manifest, page_size
+    raise PageCorruptionError(
+        "no valid superblock found (truncated, torn, or not a saved tree): "
+        + ("; ".join(reasons) if reasons else "file size matches no page size")
+    )
+
+
+def read_blob(path: str | os.PathLike, manifest: dict, name: str, page_size: int) -> bytes:
+    """Reassemble the named blob from its framed pages."""
+    loc = manifest["blobs"][name]
+    parts: list[bytes] = []
+    with open(path, "rb") as f:
+        for pid in range(loc["start"], loc["start"] + loc["pages"]):
+            f.seek(pid * page_size)
+            header, payload = unframe_page(
+                f.read(page_size).ljust(page_size, b"\x00"), pid
+            )
+            if header.kind != PAGE_KIND_BLOB:
+                raise PageCorruptionError(
+                    f"expected blob page, found kind {header.kind}", pid
+                )
+            parts.append(payload)
+    blob = b"".join(parts)
+    if len(blob) != loc["bytes"]:
+        raise PageCorruptionError(
+            f"blob {name!r}: reassembled {len(blob)} bytes, manifest says {loc['bytes']}"
+        )
+    return blob

@@ -1,0 +1,167 @@
+"""Crash matrix: kill the process at every write boundary, reopen, verify.
+
+The invariant under test is the save protocol's whole promise: a crash at
+*any* point during ``save()`` — any page write, torn or clean, the fsync,
+or the final rename — leaves the path readable as either the complete
+previous tree or the complete new one, never a hybrid; and a crash during
+in-place mutation of a reopened tree never touches the published file at
+all (copy-on-write overlay).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.core.hybridtree as hybridtree_mod
+from repro.core import HybridTree
+from repro.datasets import uniform_dataset
+from repro.geometry.rect import Rect
+from repro.storage.errors import CrashError
+from repro.storage.faults import FaultInjectingPageStore
+from repro.storage.recovery import verify
+
+DIMS = 5
+QUERY = Rect([0.15] * DIMS, [0.75] * DIMS)
+
+_real_save_store = hybridtree_mod._save_store
+
+
+def _state(path):
+    tree = HybridTree.open(path)
+    return len(tree), sorted(tree.range_search(QUERY)), tree.knn(
+        np.full(DIMS, 0.4), 5
+    )
+
+
+def _crashing_factory(k, torn):
+    def factory(path, page_size):
+        store = FaultInjectingPageStore(
+            _real_save_store(path, page_size), seed=1000 + k
+        )
+        store.crash_after_writes(k, torn=torn)
+        return store
+
+    return factory
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    data = uniform_dataset(900, DIMS, seed=5)
+    tree = HybridTree.bulk_load(data)
+    path = str(tmp_path / "t.pages")
+    tree.save(path)
+    return path, data
+
+
+@pytest.mark.parametrize("torn", [False, True], ids=["clean-cut", "torn-write"])
+def test_save_crash_at_every_write_boundary(saved, monkeypatch, torn):
+    path, data = saved
+    old_state = _state(path)
+
+    grown = HybridTree.open(path)
+    for oid in range(300):
+        grown.insert(np.asarray(data[oid]) * 0.5 + 0.25, 2000 + oid)
+    completed = False
+    for k in range(500):
+        monkeypatch.setattr(
+            hybridtree_mod, "_save_store", _crashing_factory(k, torn)
+        )
+        try:
+            grown.save(path)
+        except CrashError:
+            # Crashed mid-save: the published file must be byte-for-byte
+            # the old tree — readable, fsck-clean, identical answers.
+            report = verify(path)
+            assert report.ok, (k, report.errors)
+            assert _state(path) == old_state, k
+        else:
+            completed = True
+            break
+    assert completed, "crash matrix never reached a fault-free save"
+    assert k > 5, "matrix should cover many write boundaries"
+    report = verify(path)
+    assert report.ok, report.errors
+    new_state = _state(path)
+    assert new_state[0] == old_state[0] + 300
+
+
+def test_save_crash_at_the_rename_boundary(saved, monkeypatch):
+    path, data = saved
+    old_state = _state(path)
+    grown = HybridTree.open(path)
+    for oid in range(100):
+        grown.insert(np.asarray(data[oid]) * 0.9, 3000 + oid)
+
+    real_replace = os.replace
+
+    def dying_replace(src, dst):
+        raise CrashError("crash before rename")
+
+    monkeypatch.setattr(hybridtree_mod.os, "replace", dying_replace)
+    with pytest.raises(CrashError):
+        grown.save(path)
+    monkeypatch.setattr(hybridtree_mod.os, "replace", real_replace)
+    # Fully written tmp image, never published: old tree still the truth.
+    assert verify(path).ok
+    assert _state(path) == old_state
+    # The interrupted save can simply be retried.
+    grown.save(path)
+    assert verify(path).ok
+    assert _state(path)[0] == old_state[0] + 100
+
+
+@pytest.mark.parametrize("op", ["insert", "delete"])
+def test_mutation_crash_never_touches_the_published_file(saved, op):
+    path, data = saved
+    old_state = _state(path)
+    with open(path, "rb") as f:
+        old_bytes = f.read()
+
+    for k in range(0, 40, 7):
+        tree = HybridTree.open(path, buffer_pages=4)  # evictions write back
+        injector = FaultInjectingPageStore(tree.nm.store, seed=k)
+        tree.nm.store = injector
+        injector.crash_after_writes(k, torn=True)
+        try:
+            for oid in range(200):
+                if op == "insert":
+                    tree.insert(np.asarray(data[oid]) * 0.7 + 0.1, 5000 + oid)
+                else:
+                    tree.delete(data[oid], oid)
+        except CrashError:
+            pass
+        with open(path, "rb") as f:
+            assert f.read() == old_bytes, (op, k)
+    assert _state(path) == old_state
+    assert verify(path).ok
+
+
+def test_interleaved_lifecycle_with_crashes(tmp_path, monkeypatch):
+    """Generations of save / crash / reopen / mutate keep converging."""
+    data = uniform_dataset(600, DIMS, seed=17)
+    path = str(tmp_path / "life.pages")
+    tree = HybridTree.bulk_load(data[:300])
+    tree.save(path)
+
+    for generation, lo in enumerate(range(300, 600, 100)):
+        tree = HybridTree.open(path)
+        for oid in range(lo, lo + 100):
+            tree.insert(data[oid], oid)
+        # A crashing save attempt first...
+        monkeypatch.setattr(
+            hybridtree_mod, "_save_store", _crashing_factory(3 + generation, True)
+        )
+        with pytest.raises(CrashError):
+            tree.save(path)
+        monkeypatch.setattr(hybridtree_mod, "_save_store", _real_save_store)
+        assert verify(path).ok
+        assert len(HybridTree.open(path)) == lo  # old generation intact
+        # ...then the retry lands the new generation.
+        tree.save(path)
+        assert verify(path).ok
+        assert len(HybridTree.open(path)) == lo + 100
+
+    final = HybridTree.open(path)
+    final.validate()
+    assert sorted(final.range_search(Rect.unit(DIMS))) == list(range(600))

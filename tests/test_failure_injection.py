@@ -1,6 +1,5 @@
 """Failure injection: corruption and misuse must fail loudly, not wrongly."""
 
-import json
 import os
 
 import numpy as np
@@ -9,6 +8,7 @@ import pytest
 from repro.core import HybridTree
 from repro.datasets import uniform_dataset
 from repro.geometry.rect import Rect
+from repro.storage.errors import PageCorruptionError
 from repro.storage.pagestore import FilePageStore
 from repro.storage.serialization import HybridNodeCodec
 
@@ -45,17 +45,21 @@ class TestPageCorruption:
             reopened.nm.evict_all()
             reopened.range_search(Rect.unit(6))
 
-    def test_truncated_meta_fails_cleanly(self, saved_tree, tmp_path):
+    def test_truncated_file_fails_cleanly(self, saved_tree):
         path, _, _ = saved_tree
-        with open(path + ".meta.json", "w") as f:
-            f.write('{"dims": 6')  # truncated JSON
-        with pytest.raises(json.JSONDecodeError):
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size - 4096)  # lose the superblock
+        with pytest.raises(PageCorruptionError):
             HybridTree.open(path)
 
-    def test_missing_els_sidecar_fails_cleanly(self, saved_tree):
+    def test_torn_superblock_fails_cleanly(self, saved_tree):
         path, _, _ = saved_tree
-        os.remove(path + ".els.npz")
-        with pytest.raises(FileNotFoundError):
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.seek(size - 4096 + 16)
+            f.write(b"\x00" * 64)  # tear the superblock's header + manifest
+        with pytest.raises(PageCorruptionError):
             HybridTree.open(path)
 
     def test_corrupt_kd_tree_payload(self, saved_tree):
@@ -105,15 +109,21 @@ class TestStoreMisuse:
         b = store.allocate()
         assert b == a  # recycling is explicit and deterministic
 
-    def test_nodemanager_double_free(self):
+    def test_nodemanager_double_free_rejected(self):
+        # A tolerated double free would put the id on the free list twice
+        # and eventually hand one page to two different nodes.
         from repro.storage.nodemanager import NodeManager
 
         nm = NodeManager()
         pid = nm.allocate()
         nm.put(pid, "x", charge=False)
         nm.free(pid)
-        nm.free(pid)  # tolerated by the allocator (goes back on free list)
+        with pytest.raises(ValueError, match="double free"):
+            nm.free(pid)
         assert nm.cached_nodes == 0
+        # The freed id is recycled exactly once.
+        assert nm.allocate() == pid
+        assert nm.allocate() == pid + 1
 
 
 class TestAPIMisuse:

@@ -486,3 +486,134 @@ class TestPinning:
         nm.stats.reset()
         assert nm.get(pid) == "a"
         assert nm.stats.random_reads == 0
+
+
+class TestPageFraming:
+    def test_round_trip(self):
+        from repro.storage import frame_page, unframe_page
+
+        page = frame_page(b"hello", 4096, kind=1, level=3, entry_count=42)
+        assert len(page) == 4096
+        header, payload = unframe_page(page)
+        assert payload == b"hello"
+        assert (header.kind, header.level, header.entry_count) == (1, 3, 42)
+
+    def test_payload_budget_enforced(self):
+        from repro.storage import PAGE_HEADER_SIZE, frame_page
+
+        frame_page(b"x" * (4096 - PAGE_HEADER_SIZE), 4096, kind=1)
+        with pytest.raises(ValueError):
+            frame_page(b"x" * (4096 - PAGE_HEADER_SIZE + 1), 4096, kind=1)
+
+    def test_empty_payload(self):
+        from repro.storage import frame_page, unframe_page
+
+        header, payload = unframe_page(frame_page(b"", 512, kind=3))
+        assert payload == b""
+        assert header.payload_length == 0
+
+    def test_zero_page_rejected(self):
+        from repro.storage import PageCorruptionError, unframe_page
+
+        with pytest.raises(PageCorruptionError):
+            unframe_page(b"\x00" * 4096, page_id=9)
+
+    def test_truncated_page_rejected(self):
+        from repro.storage import PageCorruptionError, frame_page, unframe_page
+
+        page = frame_page(b"data", 4096, kind=1)
+        with pytest.raises(PageCorruptionError):
+            unframe_page(page[:16])
+
+    def test_corruption_error_is_a_value_error(self):
+        from repro.storage import PageCorruptionError
+
+        err = PageCorruptionError("CRC32 mismatch", page_id=5)
+        assert isinstance(err, ValueError)
+        assert "page 5" in str(err)
+
+
+class TestAllocatorHardening:
+    def test_double_free_rejected(self):
+        store = InMemoryPageStore()
+        pid = store.allocate()
+        store.free(pid)
+        with pytest.raises(ValueError, match="double free"):
+            store.free(pid)
+
+    def test_free_after_recycle_is_legal(self):
+        store = InMemoryPageStore()
+        pid = store.allocate()
+        store.free(pid)
+        assert store.allocate() == pid
+        store.free(pid)  # freed again only after being re-allocated
+
+    def test_ensure_allocated_jumps_horizon(self):
+        store = InMemoryPageStore()
+        store.ensure_allocated(10_000_000)  # O(1), not a 10M-iteration loop
+        assert store._next_id == 10_000_001
+        store.ensure_allocated(5)  # never shrinks
+        assert store._next_id == 10_000_001
+
+    def test_set_allocator_state(self):
+        store = InMemoryPageStore()
+        store.set_allocator_state(10, [2, 7, 99])  # 99 out of range: dropped
+        assert store._next_id == 10
+        assert set(store.free_page_ids) == {2, 7}
+        with pytest.raises(ValueError):
+            store.set_allocator_state(10, [3, 3])
+
+
+class TestOverlayPageStore:
+    def test_reads_fall_through_writes_do_not(self, tmp_path):
+        from repro.storage import OverlayPageStore
+
+        with FilePageStore(tmp_path / "base.bin", page_size=64) as base:
+            pid = base.allocate()
+            base.write(pid, b"disk", charge=False)
+            base.flush()
+            overlay = OverlayPageStore(base)
+            assert overlay.read(pid, charge=False).startswith(b"disk")
+            overlay.write(pid, b"memory", charge=False)
+            assert overlay.read(pid, charge=False).startswith(b"memory")
+            # The file never saw the overlay write.
+            assert base.read(pid, charge=False).startswith(b"disk")
+
+    def test_overlay_pages_beyond_base_read_as_zeros(self, tmp_path):
+        from repro.storage import OverlayPageStore
+
+        with FilePageStore(tmp_path / "base.bin", page_size=64) as base:
+            overlay = OverlayPageStore(base)
+            pid = overlay.allocate()
+            assert overlay.read(pid, charge=False) == b"\x00" * 64
+
+    def test_shares_stats_with_base(self, tmp_path):
+        from repro.storage import OverlayPageStore
+
+        with FilePageStore(tmp_path / "base.bin", page_size=64) as base:
+            overlay = OverlayPageStore(base)
+            pid = overlay.allocate()
+            overlay.write(pid, b"x")
+            overlay.read(pid)
+            assert base.stats.random_writes == 1
+            assert base.stats.random_reads == 1
+
+
+class TestChecksummedFileStore:
+    def test_checked_read_rejects_raw_bytes(self, tmp_path):
+        from repro.storage import PageCorruptionError
+
+        with FilePageStore(tmp_path / "x.bin", 4096, checksums=True) as store:
+            pid = store.allocate()
+            store.write(pid, b"raw unframed bytes", charge=False)
+            with pytest.raises(PageCorruptionError):
+                store.read(pid, charge=False)
+
+    def test_checked_read_accepts_framed_page(self, tmp_path):
+        from repro.storage import frame_page, unframe_page
+
+        with FilePageStore(tmp_path / "x.bin", 4096, checksums=True) as store:
+            pid = store.allocate()
+            store.write(pid, frame_page(b"payload", 4096, kind=1), charge=False)
+            _, payload = unframe_page(store.read(pid, charge=False))
+            assert payload == b"payload"
