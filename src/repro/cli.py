@@ -312,7 +312,71 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
     for text in reports:
         print()
         print(text)
+
+    if args.workers > 1 or args.mmap:
+        print()
+        _bench_parallel(args, tree, boxes, centers, metric)
     return 0
+
+
+def _bench_parallel(args, tree, boxes, centers, metric) -> None:
+    """Save the tree and compare serial vs multi-worker batch execution."""
+    import os
+    import tempfile
+    import time
+
+    from repro.engine import ParallelQueryEngine
+    from repro.eval.report import render_table
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = os.path.join(tmpdir, "bench.tree")
+        tree.save(path)
+        serial_tree = HybridTree.open(path, mmap=args.mmap)
+        rows = []
+        with ParallelQueryEngine(
+            path, workers=args.workers, mode=args.worker_mode, mmap=args.mmap
+        ) as engine:
+            for label, serial_fn, parallel_fn in (
+                (
+                    "range",
+                    lambda: serial_tree.range_search_many(boxes, return_metrics=True),
+                    lambda: engine.range_search_many(boxes, return_metrics=True),
+                ),
+                (
+                    f"knn k={args.k}",
+                    lambda: serial_tree.knn_many(
+                        centers, args.k, metric, return_metrics=True
+                    ),
+                    lambda: engine.knn_many(
+                        centers, args.k, metric, return_metrics=True
+                    ),
+                ),
+            ):
+                start = time.perf_counter()
+                serial_results, serial_metrics = serial_fn()
+                serial_wall = time.perf_counter() - start
+                start = time.perf_counter()
+                parallel_results, parallel_metrics = parallel_fn()
+                parallel_wall = time.perf_counter() - start
+                rows.append(
+                    {
+                        "mode": label,
+                        "workers": f"{args.workers}x{args.worker_mode}",
+                        "mmap": args.mmap,
+                        "serial_s": round(serial_wall, 3),
+                        "parallel_s": round(parallel_wall, 3),
+                        "speedup": (
+                            round(serial_wall / parallel_wall, 2)
+                            if parallel_wall
+                            else 0.0
+                        ),
+                        "serial_reads": serial_metrics.charged_reads,
+                        "parallel_reads": parallel_metrics.charged_reads,
+                        "identical": serial_results == parallel_results,
+                    }
+                )
+        serial_tree.close()
+        print(render_table(rows, "parallel engine vs serial batch (reopened tree)"))
 
 
 def _loop_range(tree, boxes):
@@ -423,6 +487,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", default="l2", help="l1 | l2 | linf | <p>")
     p.add_argument("--pin-levels", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="also compare a multi-worker parallel engine over the saved tree",
+    )
+    p.add_argument(
+        "--worker-mode",
+        choices=["thread", "fork", "spawn"],
+        default="thread",
+        help="worker concurrency model for --workers > 1",
+    )
+    p.add_argument(
+        "--mmap",
+        action="store_true",
+        help="reopen via the zero-copy mmap read path (fsck once at open)",
+    )
     p.set_defaults(fn=cmd_bench_batch)
 
     return parser

@@ -138,6 +138,9 @@ class HybridTree:
             raise ValueError(f"on_corruption must be one of {ON_CORRUPTION_POLICIES}")
         self.on_corruption = on_corruption
         self.degraded_queries = 0
+        self.source_path: str | None = None
+        self.read_only = False
+        self.modified_since_save = False
         self.nm = NodeManager(store=store, stats=stats)
         self.els = ELSTable(dims, els_bits)
         self._root_id = self.nm.allocate()
@@ -212,6 +215,7 @@ class HybridTree:
         else:
             self._split_data_node(path, node_id, node, v, oid)
         self._count += 1
+        self.modified_since_save = True
 
     def _containment_descent(
         self, node_id: int, region: Rect, v: np.ndarray
@@ -426,6 +430,7 @@ class HybridTree:
         node.remove_at(entry_idx)
         self.nm.put(node_id, node)
         self._count -= 1
+        self.modified_since_save = True
         min_entries = max(1, int(np.floor(self.min_fill * self.data_capacity)))
         if node.count >= min_entries or not path:
             if node.count > 0:
@@ -851,12 +856,15 @@ class HybridTree:
 
         return knn_many(self, centers, k, metric, approximation_factor, return_metrics)
 
-    def session(self, pin_levels: int = 2):
+    def session(self, pin_levels: int = 2, workers: int = 1, mode: str = "thread"):
         """Open a :class:`repro.engine.QuerySession` pinning the hot upper
-        ``pin_levels`` directory levels (each page charged once)."""
+        ``pin_levels`` directory levels (each page charged once).  With
+        ``workers > 1`` the session's batch queries run on a
+        :class:`repro.engine.ParallelQueryEngine` over this tree's saved
+        file (requires the tree to come from ``save``/``open``)."""
         from repro.engine import QuerySession
 
-        return QuerySession(self, pin_levels=pin_levels)
+        return QuerySession(self, pin_levels=pin_levels, workers=workers, mode=mode)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -937,6 +945,8 @@ class HybridTree:
             store.flush()
         os.replace(tmp_pages, path)
         self._fsync_dir(path)
+        self.source_path = os.path.abspath(path)
+        self.modified_since_save = False
 
     def _els_blob(self, free_ids: list[int]) -> bytes:
         """Serialize the ELS table, free list and bounds into one npz blob."""
@@ -986,6 +996,7 @@ class HybridTree:
         stats: IOStats | None = None,
         buffer_pages: int | None = None,
         on_corruption: str = "raise",
+        mmap: bool = False,
     ) -> "HybridTree":
         """Reopen a saved tree; nodes fault in lazily from the page file.
 
@@ -1001,6 +1012,18 @@ class HybridTree:
         file itself is opened copy-on-write: all mutations stay in memory
         until the next ``save()``, so the published file can never be
         half-updated by a crash mid-session.
+
+        ``mmap=True`` opens the **zero-copy read-only** path instead: the
+        file is fsck'd once (every page CRC, reachability, the superblock's
+        checksum-of-checksums), then mapped with
+        :class:`~repro.storage.mmapstore.MmapPageStore` and decoded with
+        ``HybridNodeCodec(copy=False, verify_checksums=False)`` — data-node
+        vectors are read-only views over the OS page cache, steady-state
+        reads pay no checksum and no copy.  The tree is strictly read-only:
+        mutations raise :class:`~repro.core.nodes.FrozenNodeError` /
+        :class:`~repro.storage.errors.ReadOnlyStoreError`.  The integrity
+        contract assumes the file is not modified in place while mapped —
+        which ``save()`` never does (atomic rename).
         """
         from repro.storage.serialization import HybridNodeCodec
 
@@ -1023,13 +1046,32 @@ class HybridTree:
             raise ValueError(f"on_corruption must be one of {ON_CORRUPTION_POLICIES}")
         tree.on_corruption = on_corruption
         tree.degraded_queries = 0
-        store = OverlayPageStore(
-            FilePageStore(path, page_size, stats=stats, checksums=True)
-        )
+        tree.source_path = os.path.abspath(path)
+        tree.read_only = mmap
+        tree.modified_since_save = False
+        if mmap:
+            from repro.storage.mmapstore import MmapPageStore
+
+            # The whole-file audit happens here (verify="fsck"); the codec
+            # below can then skip per-decode CRCs and hand out views.
+            store: PageStore = MmapPageStore(
+                path, page_size, stats=stats, verify="fsck"
+            )
+            codec = HybridNodeCodec(
+                tree.dims,
+                tree.data_capacity,
+                page_size,
+                copy=False,
+                verify_checksums=False,
+            )
+        else:
+            store = OverlayPageStore(
+                FilePageStore(path, page_size, stats=stats, checksums=True)
+            )
+            codec = HybridNodeCodec(tree.dims, tree.data_capacity, page_size)
         store.set_allocator_state(
             int(manifest["page_count"]), [int(pid) for pid in blob["free_ids"]]
         )
-        codec = HybridNodeCodec(tree.dims, tree.data_capacity, page_size)
         tree.nm = NodeManager(
             store=store, codec=codec, stats=stats, max_cached=buffer_pages
         )
@@ -1040,6 +1082,18 @@ class HybridTree:
         tree._height = int(manifest["height"])
         tree._count = int(manifest["count"])
         return tree
+
+    def close(self) -> None:
+        """Release the backing store (file handle / mmap), if it has one.
+
+        Safe on any tree; in-memory stores are a no-op.  Zero-copy node
+        views handed out by an mmap-opened tree keep the mapping alive
+        until they are garbage-collected (see
+        :meth:`~repro.storage.mmapstore.MmapPageStore.close`).
+        """
+        close = getattr(self.nm.store, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------------
     # Maintenance / verification

@@ -70,10 +70,21 @@ KDNode = KDLeaf | KDInternal
 
 
 def count_leaves(node: KDNode) -> int:
-    """Number of children the index node has (kd leaves)."""
-    if isinstance(node, KDLeaf):
-        return 1
-    return count_leaves(node.left) + count_leaves(node.right)
+    """Number of children the index node has (kd leaves).
+
+    Iterative, like the codec's kd walks: a degenerate intranode kd-tree
+    on a large page can be deeper than the interpreter's recursion limit.
+    """
+    count = 0
+    stack = [node]
+    while stack:
+        kd = stack.pop()
+        if isinstance(kd, KDLeaf):
+            count += 1
+        else:
+            stack.append(kd.right)
+            stack.append(kd.left)
+    return count
 
 
 def count_internals(node: KDNode) -> int:
@@ -90,12 +101,15 @@ def depth(node: KDNode) -> int:
 
 
 def iter_leaves(node: KDNode) -> Iterator[KDLeaf]:
-    """Yield kd leaves left-to-right."""
-    if isinstance(node, KDLeaf):
-        yield node
-        return
-    yield from iter_leaves(node.left)
-    yield from iter_leaves(node.right)
+    """Yield kd leaves left-to-right (iterative; see :func:`count_leaves`)."""
+    stack = [node]
+    while stack:
+        kd = stack.pop()
+        if isinstance(kd, KDLeaf):
+            yield kd
+        else:
+            stack.append(kd.right)
+            stack.append(kd.left)
 
 
 def iter_internals(node: KDNode) -> Iterator[KDInternal]:

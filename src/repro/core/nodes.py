@@ -15,6 +15,17 @@ from repro.core.kdnodes import KDNode
 from repro.geometry.rect import Rect
 
 
+class FrozenNodeError(RuntimeError):
+    """A mutation reached a frozen (read-only) data node.
+
+    Zero-copy decoding (``HybridNodeCodec(copy=False)``) wraps a data
+    node's vectors and oids as views over the mmapped page instead of
+    private arrays; such nodes must never be mutated in place, so ``add``
+    and ``remove_at`` raise this instead of silently corrupting — or
+    crashing inside — the shared mapping.
+    """
+
+
 class DataNode:
     """A leaf page: up to ``capacity`` feature vectors with object ids.
 
@@ -22,9 +33,15 @@ class DataNode:
     budget of :func:`repro.storage.page.data_node_capacity` charges for — so
     the in-memory representation and the serialized page hold identical
     values and persistence round trips are exact.
+
+    A node is normally a private, mutable buffer pair.  The zero-copy read
+    path constructs *frozen* nodes instead (:meth:`from_views`): the arrays
+    are read-only views over the mmapped page, every query kernel works on
+    them unchanged, and any mutation attempt raises
+    :class:`FrozenNodeError`.
     """
 
-    __slots__ = ("vectors", "oids", "count")
+    __slots__ = ("vectors", "oids", "count", "_capacity", "_frozen")
 
     LEVEL = 0
 
@@ -34,6 +51,36 @@ class DataNode:
         self.vectors = np.empty((capacity, dims), dtype=np.float32)
         self.oids = np.empty(capacity, dtype=np.uint32)
         self.count = 0
+        self._capacity = capacity
+        self._frozen = False
+
+    @classmethod
+    def from_views(
+        cls, vectors: np.ndarray, oids: np.ndarray, capacity: int | None = None
+    ) -> "DataNode":
+        """Build a frozen node directly over decoded array views.
+
+        ``vectors`` is the ``(count, dims)`` float32 block and ``oids`` the
+        matching uint32 vector — typically ``np.frombuffer`` views into an
+        mmapped page, which arrive read-only and are kept that way.  No
+        spare capacity is allocated: the node exists to be scanned, never
+        grown.
+        """
+        if vectors.ndim != 2 or oids.shape != (vectors.shape[0],):
+            raise ValueError(
+                f"mismatched views: vectors {vectors.shape}, oids {oids.shape}"
+            )
+        node = cls.__new__(cls)
+        node.vectors = vectors
+        node.oids = oids
+        node.count = int(vectors.shape[0])
+        node._capacity = int(capacity) if capacity is not None else node.count
+        node._frozen = True
+        return node
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
 
     @property
     def dims(self) -> int:
@@ -41,7 +88,7 @@ class DataNode:
 
     @property
     def capacity(self) -> int:
-        return self.vectors.shape[0]
+        return self._capacity
 
     @property
     def is_full(self) -> bool:
@@ -55,6 +102,11 @@ class DataNode:
         return self.oids[: self.count]
 
     def add(self, vector: np.ndarray, oid: int) -> None:
+        if self._frozen:
+            raise FrozenNodeError(
+                "cannot add to a frozen data node (zero-copy mmap read path); "
+                "reopen the tree without mmap to mutate it"
+            )
         if self.is_full:
             raise RuntimeError("data node overflow; caller must split first")
         self.vectors[self.count] = vector
@@ -63,6 +115,11 @@ class DataNode:
 
     def remove_at(self, index: int) -> None:
         """Remove the entry at ``index`` by swapping in the last entry."""
+        if self._frozen:
+            raise FrozenNodeError(
+                "cannot remove from a frozen data node (zero-copy mmap read "
+                "path); reopen the tree without mmap to mutate it"
+            )
         if not 0 <= index < self.count:
             raise IndexError(index)
         last = self.count - 1

@@ -16,11 +16,14 @@ from repro.engine.batch import (
     range_search_many,
 )
 from repro.engine.metrics import BatchMetrics, LoopRecorder, ascii_histogram
+from repro.engine.parallel import WORKER_MODES, ParallelQueryEngine
 
 __all__ = [
     "BatchMetrics",
     "LoopRecorder",
+    "ParallelQueryEngine",
     "QuerySession",
+    "WORKER_MODES",
     "ascii_histogram",
     "distance_range_many",
     "knn_many",

@@ -331,12 +331,48 @@ class QuerySession:
 
     Closing the session unpins everything, returning the buffer to the
     paper's cold accounting.
+
+    With ``workers > 1`` the batch methods run on a
+    :class:`~repro.engine.parallel.ParallelQueryEngine` instead: the
+    session reopens ``tree.source_path`` once per worker (``mode`` selects
+    threads or fork/spawn processes) and merges partition results
+    deterministically.  This requires a tree that came from
+    ``save``/``open`` *and has no unsaved changes* — workers read the
+    file, so in-memory mutations would silently be invisible to them;
+    the constructor refuses rather than risking that.  Single-query
+    methods and the pinned directory still use ``tree`` itself.
     """
 
-    def __init__(self, tree, pin_levels: int = 2, charge_pins: bool = True):
+    def __init__(
+        self,
+        tree,
+        pin_levels: int = 2,
+        charge_pins: bool = True,
+        workers: int = 1,
+        mode: str = "thread",
+    ):
         if pin_levels < 0:
             raise ValueError("pin_levels must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.tree = tree
+        self._parallel = None
+        if workers > 1:
+            from repro.engine.parallel import ParallelQueryEngine
+
+            if tree.source_path is None:
+                raise ValueError(
+                    "workers > 1 requires a saved tree (save() or open() "
+                    "first): worker handles reopen the tree from its file"
+                )
+            if tree.modified_since_save:
+                raise ValueError(
+                    "tree has unsaved in-memory changes; save() before "
+                    "opening a parallel session so workers see them"
+                )
+            self._parallel = ParallelQueryEngine(
+                tree.source_path, workers=workers, mode=mode, stats=tree.io
+            )
         self._pinned: list[int] = []
         frontier = [tree.root_id]
         for _ in range(min(pin_levels, tree.height)):
@@ -353,10 +389,17 @@ class QuerySession:
     def pinned_pages(self) -> int:
         return len(self._pinned)
 
+    @property
+    def workers(self) -> int:
+        return self._parallel.workers if self._parallel is not None else 1
+
     def close(self) -> None:
         for node_id in self._pinned:
             self.tree.nm.unpin(node_id)
         self._pinned.clear()
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
 
     def __enter__(self) -> "QuerySession":
         return self
@@ -366,11 +409,17 @@ class QuerySession:
 
     # -- queries -------------------------------------------------------
     def range_search_many(self, queries, return_metrics: bool = False):
+        if self._parallel is not None:
+            return self._parallel.range_search_many(queries, return_metrics)
         return range_search_many(self.tree, queries, return_metrics)
 
     def distance_range_many(
         self, centers, radii, metric: Metric = L2, return_metrics: bool = False
     ):
+        if self._parallel is not None:
+            return self._parallel.distance_range_many(
+                centers, radii, metric, return_metrics
+            )
         return distance_range_many(self.tree, centers, radii, metric, return_metrics)
 
     def knn_many(
@@ -381,6 +430,10 @@ class QuerySession:
         approximation_factor: float = 0.0,
         return_metrics: bool = False,
     ):
+        if self._parallel is not None:
+            return self._parallel.knn_many(
+                centers, k, metric, approximation_factor, return_metrics
+            )
         return knn_many(
             self.tree, centers, k, metric, approximation_factor, return_metrics
         )

@@ -1,0 +1,325 @@
+"""Multi-worker parallel execution of batch queries over a saved tree.
+
+The shared-traversal engine (:mod:`repro.engine.batch`) already amortises
+page fetches across a batch; this module parallelises across *workers*.  A
+query batch is split into ``workers`` contiguous partitions
+(``np.array_split`` order), each worker runs the ordinary batch engine over
+its partition against its **own** read handle on the saved tree file, and
+the partition outputs are concatenated back — so the merged result list is
+positionally identical to the serial call.
+
+Worker isolation is what makes this safe without locks: nothing in the
+query path is shared between workers except the immutable saved file.
+
+- ``mode="thread"``: each worker thread holds a private
+  :meth:`HybridTree.open` handle (private node cache, private
+  :class:`IOStats`).  Python threads interleave under the GIL, but the
+  numpy predicate kernels release it, so scans overlap on multicore hosts.
+- ``mode="fork"`` / ``"spawn"``: worker *processes*, each reopening the
+  tree in its initializer.  With ``mmap=True`` (the default) every worker
+  maps the same file, so the OS page cache holds **one** copy of the data
+  no matter how many workers run — resident memory does not multiply.
+
+Determinism contract (tested in ``tests/test_mmap_parallel.py``):
+
+- results of ``range_search_many`` / ``distance_range_many`` /
+  ``knn_many`` are **bit-identical** to the serial batch call (and hence to
+  the single-query loop) for every worker count and mode;
+- per-query node-visit counts are partition-independent for range and
+  distance queries (the alive-set predicates are evaluated row-wise);
+  for k-NN they are not — the shared traversal orders children by the best
+  bound *over the alive set*, so a query's visit attribution depends on
+  its batch companions (the same caveat the serial batch engine documents
+  versus the single-query loop);
+- ``charged_reads`` is the sum over workers.  It exceeds the serial batch
+  figure because every worker re-reads the directory levels for itself:
+  parallelism buys wall time with duplicated (cheap, cached) page reads,
+  and the accounting reports that honestly rather than pretending the
+  batch sharing still spans partitions.
+
+The merged :class:`BatchMetrics` attributes the *whole-call* wall time
+(including partition/merge overhead) over the concatenated visit counts,
+exactly as the serial engine attributes its own wall time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.distances import L2, Metric
+from repro.engine.batch import (
+    _as_query_matrix,
+    distance_range_many,
+    knn_many,
+    range_search_many,
+)
+from repro.engine.metrics import BatchMetrics
+from repro.storage.iostats import IOStats
+
+__all__ = ["ParallelQueryEngine", "WORKER_MODES"]
+
+WORKER_MODES = ("thread", "fork", "spawn")
+
+# Process workers keep their reopened tree in module state: the pool
+# initializer populates it once per worker process and every task reuses
+# it, so node caches stay warm across batches.
+_WORKER_TREE = None
+
+
+def _open_worker_tree(path: str, mmap: bool):
+    from repro.core.hybridtree import HybridTree
+
+    return HybridTree.open(path, mmap=mmap)
+
+
+def _worker_init(path: str, mmap: bool) -> None:
+    global _WORKER_TREE
+    _WORKER_TREE = _open_worker_tree(path, mmap)
+
+
+def _run_partition(tree, kind: str, payload: dict):
+    """Run one partition through the serial batch engine on ``tree``.
+
+    Returns ``(results, visits, charged_reads, io_delta)`` — everything the
+    parent needs to merge, all picklable for the process modes.
+    """
+    io = tree.io
+    before = (
+        io.random_reads,
+        io.random_writes,
+        io.sequential_reads,
+        io.sequential_writes,
+    )
+    if kind == "range":
+        results, metrics = range_search_many(tree, payload["queries"], True)
+    elif kind == "distance":
+        results, metrics = distance_range_many(
+            tree, payload["centers"], payload["radii"], payload["metric"], True
+        )
+    elif kind == "knn":
+        results, metrics = knn_many(
+            tree,
+            payload["centers"],
+            payload["k"],
+            payload["metric"],
+            payload["approximation_factor"],
+            True,
+        )
+    else:  # pragma: no cover - internal dispatch
+        raise ValueError(f"unknown query kind {kind!r}")
+    delta = (
+        io.random_reads - before[0],
+        io.random_writes - before[1],
+        io.sequential_reads - before[2],
+        io.sequential_writes - before[3],
+    )
+    visits = np.asarray(metrics.pages, dtype=np.int64)
+    return results, visits, metrics.charged_reads, delta
+
+
+def _worker_task(task):
+    kind, payload = task
+    return _run_partition(_WORKER_TREE, kind, payload)
+
+
+class ParallelQueryEngine:
+    """Partition query batches across ``workers`` read handles on a saved tree.
+
+    Parameters
+    ----------
+    path:
+        A tree file produced by :meth:`HybridTree.save`.  Every worker
+        opens its own handle, so the engine needs the file, not a live
+        tree object (``QuerySession(workers=...)`` wires one up from
+        ``tree.source_path``).
+    workers:
+        Number of partitions / concurrent handles (>= 1).
+    mode:
+        ``"thread"`` (default), ``"fork"`` or ``"spawn"`` — see the module
+        docstring.  ``"fork"`` is unavailable on platforms without it.
+    mmap:
+        Reopen handles with ``HybridTree.open(mmap=True)`` (zero-copy
+        reads, one shared OS page-cache copy).  Default True; the file
+        pays one fsck per handle at open.
+    stats:
+        Merged accountant; every worker's I/O delta is added to it after
+        each call, so ``engine.io`` totals match what the workers charged.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        workers: int = 2,
+        mode: str = "thread",
+        mmap: bool = True,
+        stats: IOStats | None = None,
+    ):
+        from repro.storage import superblock as superblock_io
+
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if mode not in WORKER_MODES:
+            raise ValueError(f"mode must be one of {WORKER_MODES}")
+        if mode != "thread" and mode not in multiprocessing.get_all_start_methods():
+            raise ValueError(f"start method {mode!r} unavailable on this platform")
+        self.path = os.fspath(path)
+        self.workers = workers
+        self.mode = mode
+        self.mmap = mmap
+        self.io = stats if stats is not None else IOStats()
+        manifest, _ = superblock_io.read_superblock(self.path)
+        self.dims = int(manifest["dims"])
+        self._trees = []
+        if mode == "thread":
+            self._trees = [
+                _open_worker_tree(self.path, mmap) for _ in range(workers)
+            ]
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-query"
+            )
+        else:
+            ctx = multiprocessing.get_context(mode)
+            self._pool = ctx.Pool(
+                workers, initializer=_worker_init, initargs=(self.path, mmap)
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch / merge
+    # ------------------------------------------------------------------
+    def _dispatch(self, tasks):
+        if self.mode == "thread":
+            futures = [
+                self._pool.submit(_run_partition, self._trees[i], kind, payload)
+                for i, (kind, payload) in enumerate(tasks)
+            ]
+            return [f.result() for f in futures]
+        return self._pool.map(_worker_task, tasks)
+
+    def _run(self, kind: str, n: int, payloads, label: str, return_metrics: bool):
+        start = time.perf_counter()
+        if n == 0:
+            outs = []
+        else:
+            outs = self._dispatch([(kind, p) for p in payloads])
+        results = [r for part in outs for r in part[0]]
+        visits = (
+            np.concatenate([part[1] for part in outs])
+            if outs
+            else np.empty(0, dtype=np.int64)
+        )
+        charged = 0
+        for part in outs:
+            charged += part[2]
+            dr, dw, sr, sw = part[3]
+            self.io.random_reads += dr
+            self.io.random_writes += dw
+            self.io.sequential_reads += sr
+            self.io.sequential_writes += sw
+        if not return_metrics:
+            return results
+        metrics = BatchMetrics.from_batch_run(
+            label=label,
+            node_visits=visits,
+            charged_reads=charged,
+            wall_seconds=time.perf_counter() - start,
+        )
+        return results, metrics
+
+    def _partitions(self, n: int) -> list[np.ndarray]:
+        """Contiguous index partitions: concatenation restores input order."""
+        parts = min(self.workers, n) if n else 0
+        return [p for p in np.array_split(np.arange(n), parts)] if parts else []
+
+    # ------------------------------------------------------------------
+    # The batch query API (mirrors repro.engine.batch signatures)
+    # ------------------------------------------------------------------
+    def range_search_many(self, queries, return_metrics: bool = False):
+        queries = list(queries)
+        for q in queries:
+            if q.dims != self.dims:
+                raise ValueError("query dimensionality mismatch")
+        payloads = [
+            {"queries": [queries[i] for i in part]}
+            for part in self._partitions(len(queries))
+        ]
+        return self._run(
+            "range",
+            len(queries),
+            payloads,
+            f"range-batch[{self.workers}x{self.mode}]",
+            return_metrics,
+        )
+
+    def distance_range_many(
+        self, centers, radii, metric: Metric = L2, return_metrics: bool = False
+    ):
+        qs = _as_query_matrix(centers, self.dims)
+        n = qs.shape[0]
+        radii = np.broadcast_to(np.asarray(radii, dtype=np.float64), (n,))
+        if np.any(radii < 0):
+            raise ValueError("radius must be non-negative")
+        payloads = [
+            {"centers": qs[part], "radii": radii[part], "metric": metric}
+            for part in self._partitions(n)
+        ]
+        return self._run(
+            "distance",
+            n,
+            payloads,
+            f"distance-batch[{self.workers}x{self.mode}]",
+            return_metrics,
+        )
+
+    def knn_many(
+        self,
+        centers,
+        k: int,
+        metric: Metric = L2,
+        approximation_factor: float = 0.0,
+        return_metrics: bool = False,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if approximation_factor < 0:
+            raise ValueError("approximation_factor must be >= 0")
+        qs = _as_query_matrix(centers, self.dims)
+        payloads = [
+            {
+                "centers": qs[part],
+                "k": k,
+                "metric": metric,
+                "approximation_factor": approximation_factor,
+            }
+            for part in self._partitions(qs.shape[0])
+        ]
+        return self._run(
+            "knn",
+            qs.shape[0],
+            payloads,
+            f"knn-batch[{self.workers}x{self.mode}]",
+            return_metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self.mode == "thread":
+            self._pool.shutdown(wait=True)
+            for tree in self._trees:
+                tree.close()
+            self._trees = []
+        else:
+            self._pool.close()
+            self._pool.join()
+
+    def __enter__(self) -> "ParallelQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -16,6 +16,7 @@ from repro.eval.harness import (
     build_index,
     run_workload,
     run_workload_batched,
+    run_workload_parallel,
 )
 from repro.eval.report import render_table
 
@@ -28,4 +29,5 @@ __all__ = [
     "render_table",
     "run_workload",
     "run_workload_batched",
+    "run_workload_parallel",
 ]

@@ -237,3 +237,64 @@ def run_workload_batched(
         ),
         metrics,
     )
+
+
+def run_workload_parallel(
+    tree_path,
+    data: np.ndarray,
+    workload: QueryWorkload,
+    workers: int = 2,
+    mode: str = "thread",
+    mmap: bool = True,
+    kind: str = "",
+    scan_cpu_seconds: float | None = None,
+):
+    """Execute the workload through a multi-worker parallel engine.
+
+    ``tree_path`` is a saved hybrid tree file (``HybridTree.save``); each
+    worker reopens it (zero-copy mmap handles by default) and runs its
+    partition through the shared-traversal batch engine — results are
+    bit-identical to :func:`run_workload_batched` on the reopened tree.
+    ``avg_disk_accesses`` sums every worker's charged reads, so it grows
+    with worker count (each worker re-reads the directory for itself)
+    while wall-clock CPU shrinks on multicore hosts.  Returns
+    ``(ExperimentResult, BatchMetrics)`` like :func:`run_workload_batched`.
+    """
+    from repro.engine.parallel import ParallelQueryEngine
+
+    kind = kind or f"hybrid[{workers}x{mode}]"
+    scan_pages = sequential_scan_pages(data.shape[0], data.shape[1])
+    if scan_cpu_seconds is None:
+        scan_cpu_seconds = _scan_cpu_per_query(data, workload)
+
+    with ParallelQueryEngine(
+        tree_path, workers=workers, mode=mode, mmap=mmap
+    ) as engine:
+        engine.io.checkpoint()
+        start = time.perf_counter()
+        if workload.kind == "box":
+            results, metrics = engine.range_search_many(
+                workload.boxes(), return_metrics=True
+            )
+        elif workload.kind == "distance":
+            results, metrics = engine.distance_range_many(
+                workload.centers, workload.radii, workload.metric, return_metrics=True
+            )
+        else:
+            raise ValueError(f"unknown workload kind {workload.kind!r}")
+        elapsed = time.perf_counter() - start
+        total_weighted = engine.io.since_checkpoint().weighted_cost()
+
+    n = len(workload)
+    return (
+        ExperimentResult(
+            kind=kind,
+            num_queries=n,
+            avg_disk_accesses=total_weighted / n,
+            avg_cpu_seconds=elapsed / n,
+            avg_result_count=sum(len(r) for r in results) / n,
+            scan_pages=scan_pages,
+            scan_cpu_seconds=scan_cpu_seconds,
+        ),
+        metrics,
+    )

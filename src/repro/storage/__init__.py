@@ -10,6 +10,8 @@ that makes those numbers meaningful in a pure-Python reproduction:
   tenth of a random access).
 - :mod:`repro.storage.pagestore` -- page allocators: an in-memory store used
   by the benchmarks and a real file-backed store used to test persistence.
+- :mod:`repro.storage.mmapstore` -- read-only zero-copy store over a saved
+  tree file (mmap views, verify-once-at-open CRC).
 - :mod:`repro.storage.buffer` -- an LRU buffer pool.
 - :mod:`repro.storage.nodemanager` -- the node cache every index runs through;
   it charges one page access per node visit and, when file-backed, round-trips
@@ -29,6 +31,7 @@ from repro.storage.buffer import LRUBufferPool
 from repro.storage.errors import (
     CrashError,
     PageCorruptionError,
+    ReadOnlyStoreError,
     RecoveryError,
     StorageError,
     TransientStorageError,
@@ -49,6 +52,7 @@ from repro.storage.page import (
     sstree_node_capacity,
     unframe_page,
 )
+from repro.storage.mmapstore import MmapPageStore
 from repro.storage.pagestore import (
     FilePageStore,
     InMemoryPageStore,
@@ -65,6 +69,7 @@ __all__ = [
     "InMemoryPageStore",
     "IOStats",
     "LRUBufferPool",
+    "MmapPageStore",
     "NodeManager",
     "OverlayPageStore",
     "PAGE_HEADER_SIZE",
@@ -72,6 +77,7 @@ __all__ = [
     "PageHeader",
     "PageLayout",
     "PageStore",
+    "ReadOnlyStoreError",
     "RecoveryError",
     "StorageError",
     "TransientStorageError",

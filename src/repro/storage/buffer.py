@@ -55,7 +55,16 @@ class LRUBufferPool:
         while len(self._frames) >= self.capacity:
             victim, victim_data = self._frames.popitem(last=False)
             if victim in self._dirty:
-                self.store.write(victim, victim_data)
+                try:
+                    self.store.write(victim, victim_data)
+                except Exception:
+                    # Write-back failed: the frame holds the only copy of
+                    # the page, so losing it here would silently drop the
+                    # user's data.  Re-admit the victim (at the MRU end, so
+                    # the retry picks a different victim next) still marked
+                    # dirty, and surface the fault to the caller.
+                    self._frames[victim] = victim_data
+                    raise
                 self._dirty.discard(victim)
         self._frames[page_id] = data
 

@@ -38,6 +38,15 @@ class PageCorruptionError(StorageError, ValueError):
         super().__init__(f"{where}{reason}")
 
 
+class ReadOnlyStoreError(StorageError, PermissionError):
+    """A write reached a read-only store (e.g. an mmapped saved tree).
+
+    Retrying cannot help; the caller holds a read-side handle and must go
+    through a writable reopen (``HybridTree.open`` without ``mmap=True``)
+    to mutate the tree.
+    """
+
+
 class TransientStorageError(StorageError, IOError):
     """A retriable I/O fault; the same operation may succeed if reissued."""
 

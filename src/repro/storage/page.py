@@ -102,11 +102,23 @@ def frame_page(
     return header + body
 
 
-def unframe_page(page: bytes, page_id: int | None = None) -> tuple[PageHeader, bytes]:
+def unframe_page(
+    page: bytes | memoryview,
+    page_id: int | None = None,
+    verify_crc: bool = True,
+) -> tuple[PageHeader, bytes | memoryview]:
     """Parse and verify a framed page; the inverse of :func:`frame_page`.
 
     Raises :class:`PageCorruptionError` on bad magic, unknown format
     version, an out-of-range payload length, or a CRC mismatch.
+
+    Accepts any bytes-like buffer and returns the payload as a slice of the
+    same type — passing a ``memoryview`` (e.g. over an mmapped page) yields
+    a zero-copy payload view.  ``verify_crc=False`` skips only the checksum
+    comparison (magic, version and payload bounds are always checked): the
+    mode for stores that ran a whole-file CRC sweep at open time
+    (:class:`~repro.storage.mmapstore.MmapPageStore`) and must not pay the
+    checksum on every steady-state read.
     """
     if len(page) < PAGE_HEADER_SIZE:
         raise PageCorruptionError(
@@ -123,12 +135,17 @@ def unframe_page(page: bytes, page_id: int | None = None) -> tuple[PageHeader, b
         raise PageCorruptionError(
             f"payload length {payload_len} exceeds page", page_id
         )
-    # Verify over the page's *actual* header bytes (only the CRC field
-    # zeroed), not a re-packed header: re-packing would regenerate the pad
-    # bytes as zeros and let a flip there go unnoticed.
-    bare = page[:16] + b"\x00\x00\x00\x00" + page[20:PAGE_HEADER_SIZE]
-    if _page_crc(bare, page[PAGE_HEADER_SIZE:]) != crc:
-        raise PageCorruptionError("CRC32 mismatch", page_id)
+    if verify_crc:
+        # Verify over the page's *actual* header bytes (only the CRC field
+        # zeroed), not a re-packed header: re-packing would regenerate the
+        # pad bytes as zeros and let a flip there go unnoticed.  The CRC is
+        # chained over slices so buffer views need no concatenation copy.
+        actual = zlib.crc32(page[:16])
+        actual = zlib.crc32(b"\x00\x00\x00\x00", actual)
+        actual = zlib.crc32(page[20:PAGE_HEADER_SIZE], actual)
+        actual = zlib.crc32(page[PAGE_HEADER_SIZE:], actual) & 0xFFFFFFFF
+        if actual != crc:
+            raise PageCorruptionError("CRC32 mismatch", page_id)
     header = PageHeader(kind, level, entry_count, payload_len, crc, lsn, version)
     return header, page[PAGE_HEADER_SIZE : PAGE_HEADER_SIZE + payload_len]
 

@@ -30,7 +30,24 @@ The preorder encoding needs no offsets (11 bytes per internal, 5 per leaf),
 comfortably inside the 14/4-byte entry budget the capacity model of
 :mod:`repro.storage.page` charges — and that capacity model already
 reserves the 32 header bytes — so every node the capacity model admits is
-guaranteed to fit its page, asserted in ``encode``.
+guaranteed to fit its page, asserted in ``encode``.  Both kd walks use an
+explicit stack, not recursion: a degenerate intranode kd-tree on a large
+page (e.g. ~5900 internals at 64 KiB) would otherwise blow Python's
+recursion limit on the query-path fault-in.
+
+Two decode modes (``copy`` constructor flag):
+
+- ``copy=True`` (default): data-node vectors/oids are copied into private
+  mutable arrays — the mode every writable tree runs in.
+- ``copy=False``: vectors/oids become read-only ``np.frombuffer`` views
+  over the page buffer itself and the node arrives *frozen*
+  (:class:`~repro.core.nodes.DataNode.from_views`).  Over an mmapped page
+  (:class:`~repro.storage.mmapstore.MmapPageStore`) this makes fault-in
+  allocation-free: no vector bytes are copied between the OS page cache
+  and the query kernels.
+
+``verify_checksums=False`` additionally skips the per-decode CRC sweep —
+only valid when the backing store verified the whole file at open time.
 """
 
 from __future__ import annotations
@@ -59,12 +76,27 @@ _KD_LEAF = struct.Struct("<BI")
 
 class HybridNodeCodec:
     """Encode/decode hybrid-tree nodes (implements
-    :class:`repro.storage.nodemanager.NodeCodec`)."""
+    :class:`repro.storage.nodemanager.NodeCodec`).
 
-    def __init__(self, dims: int, data_capacity: int, page_size: int = 4096):
+    ``copy`` and ``verify_checksums`` select the zero-copy mmap read path
+    described in the module docstring; the defaults reproduce the original
+    copying, always-verified behaviour bit for bit.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        data_capacity: int,
+        page_size: int = 4096,
+        *,
+        copy: bool = True,
+        verify_checksums: bool = True,
+    ):
         self.dims = dims
         self.data_capacity = data_capacity
         self.page_size = page_size
+        self.copy = copy
+        self.verify_checksums = verify_checksums
 
     # ------------------------------------------------------------------
     def encode(self, node: DataNode | IndexNode) -> bytes:
@@ -84,13 +116,13 @@ class HybridNodeCodec:
             )
         return frame_page(payload, self.page_size, kind, level, entries)
 
-    def decode(self, page: bytes) -> DataNode | IndexNode:
+    def decode(self, page: bytes | memoryview) -> DataNode | IndexNode:
         """Verify the page frame and decode its payload.
 
         Raises :class:`PageCorruptionError` if the frame check fails and
         ``ValueError`` if an intact frame holds an inconsistent payload.
         """
-        header, data = unframe_page(page)
+        header, data = unframe_page(page, verify_crc=self.verify_checksums)
         if header.kind == PAGE_KIND_DATA and data[0] == _KIND_DATA:
             return self._decode_data(data)
         if header.kind == PAGE_KIND_INDEX and data[0] == _KIND_INDEX:
@@ -104,15 +136,35 @@ class HybridNodeCodec:
         oids = np.ascontiguousarray(node.live_oids(), dtype="<u4").tobytes()
         return header + vectors + oids
 
-    def _decode_data(self, data: bytes) -> DataNode:
+    def _decode_data(self, data: bytes | memoryview) -> DataNode:
         _, count, dims = _DATA_HEADER.unpack_from(data, 0)
         if dims != self.dims:
             raise ValueError(f"page dims {dims} != codec dims {self.dims}")
-        node = DataNode(dims, self.data_capacity)
+        # A CRC-valid page can still be inconsistent with *this* codec's
+        # capacity model (a file produced under different parameters, or a
+        # future format revision): reject it with a typed error before the
+        # array math turns it into a cryptic broadcast failure.
+        if count > self.data_capacity:
+            raise ValueError(
+                f"data page holds {count} entries, exceeding this codec's "
+                f"capacity of {self.data_capacity} ({dims} dims, "
+                f"{self.page_size}-byte pages)"
+            )
         offset = _DATA_HEADER.size
         vec_bytes = count * dims * 4
+        expected = offset + vec_bytes + count * 4
+        if len(data) != expected:
+            raise ValueError(
+                f"data page payload is {len(data)} bytes, expected {expected} "
+                f"for {count} entries of {dims} dims"
+            )
         vectors = np.frombuffer(data, dtype="<f4", count=count * dims, offset=offset)
         oids = np.frombuffer(data, dtype="<u4", count=count, offset=offset + vec_bytes)
+        if not self.copy:
+            return DataNode.from_views(
+                vectors.reshape(count, dims), oids, capacity=self.data_capacity
+            )
+        node = DataNode(dims, self.data_capacity)
         node.vectors[:count] = vectors.reshape(count, dims)
         node.oids[:count] = oids
         node.count = count
@@ -121,33 +173,47 @@ class HybridNodeCodec:
     # ------------------------------------------------------------------
     def _encode_index(self, node: IndexNode) -> bytes:
         parts = [_INDEX_HEADER.pack(_KIND_INDEX, node.level)]
-
-        def pack(kd: KDNode) -> None:
+        stack: list[KDNode] = [node.kd_root]
+        while stack:
+            kd = stack.pop()
             if isinstance(kd, KDLeaf):
                 parts.append(_KD_LEAF.pack(0, kd.child_id))
-                return
+                continue
             parts.append(_KD_INTERNAL.pack(1, kd.dim, kd.lsp, kd.rsp))
-            pack(kd.left)
-            pack(kd.right)
-
-        pack(node.kd_root)
+            # Preorder: left subtree is emitted next, so it is pushed last.
+            stack.append(kd.right)
+            stack.append(kd.left)
         return b"".join(parts)
 
-    def _decode_index(self, data: bytes) -> IndexNode:
+    def _decode_index(self, data: bytes | memoryview) -> IndexNode:
         _, level = _INDEX_HEADER.unpack_from(data, 0)
         offset = _INDEX_HEADER.size
-
-        def unpack() -> KDNode:
-            nonlocal offset
-            tag = data[offset]
-            if tag == 0:
+        size = len(data)
+        # Rebuild the preorder stream bottom-up with an explicit stack of
+        # open internal splits: [dim, lsp, rsp, left-subtree-or-None].  A
+        # completed subtree fills its parent's left slot or, if that is
+        # already taken, closes the parent (both children known).
+        pending: list[list] = []
+        root: KDNode | None = None
+        while root is None:
+            if offset >= size:
+                raise ValueError("index page payload truncated mid kd-tree")
+            if data[offset] == 0:
                 _, child_id = _KD_LEAF.unpack_from(data, offset)
                 offset += _KD_LEAF.size
-                return KDLeaf(child_id)
-            _, dim, lsp, rsp = _KD_INTERNAL.unpack_from(data, offset)
-            offset += _KD_INTERNAL.size
-            left = unpack()
-            right = unpack()
-            return KDInternal(dim, lsp, rsp, left, right)
-
-        return IndexNode(unpack(), level)
+                done: KDNode = KDLeaf(child_id)
+                while True:
+                    if not pending:
+                        root = done
+                        break
+                    frame = pending[-1]
+                    if frame[3] is None:
+                        frame[3] = done
+                        break
+                    pending.pop()
+                    done = KDInternal(frame[0], frame[1], frame[2], frame[3], done)
+            else:
+                _, dim, lsp, rsp = _KD_INTERNAL.unpack_from(data, offset)
+                offset += _KD_INTERNAL.size
+                pending.append([dim, lsp, rsp, None])
+        return IndexNode(root, level)

@@ -182,6 +182,31 @@ class TestBufferPool:
         pool.write(pids[2], b"c")  # evicts pids[0], which is dirty
         assert store.read(pids[0]).startswith(b"a")
 
+    def test_failed_writeback_keeps_dirty_victim(self):
+        # If evicting a dirty victim fails mid-write-back, the frame must
+        # stay in the pool (still dirty) — dropping it would lose the only
+        # copy of the data.
+        from repro.storage.errors import TransientStorageError
+        from repro.storage.faults import FaultInjectingPageStore
+
+        inner = InMemoryPageStore()
+        store = FaultInjectingPageStore(inner)
+        pids = [store.allocate() for _ in range(3)]
+        pool = LRUBufferPool(store, capacity=2)
+        pool.write(pids[0], b"a")
+        pool.write(pids[1], b"b")
+        store.fail_writes(1)
+        with pytest.raises(TransientStorageError):
+            pool.write(pids[2], b"c")  # write-back of victim pids[0] fails
+        # The victim survived in the pool and its data is intact.
+        assert pool.read(pids[0]).startswith(b"a")
+        assert pool.hits == 1
+        # A retry succeeds and nothing was lost.
+        pool.write(pids[2], b"c")
+        pool.flush()
+        for pid, payload in zip(pids, (b"a", b"b", b"c")):
+            assert inner.read(pid).startswith(payload)
+
     def test_flush(self):
         store = InMemoryPageStore()
         pid = store.allocate()
