@@ -2,12 +2,21 @@
 
 ``FeatureIndex`` documents the informal protocol every index in this
 repository implements (the hybrid tree included), so the evaluation harness
-and the exactness tests can drive them interchangeably.
-``BatchQueryMixin`` extends that protocol with the batch-query surface of
-:mod:`repro.engine` (``range_search_many`` / ``distance_range_many`` /
-``knn_many``) as a plain loop, so baselines answer the same batched harness
-calls the hybrid tree serves with its shared-traversal engine.  ``EntryLeaf``
-is the numpy-backed data page reused by the R-tree family.
+and the exactness tests can drive them interchangeably.  Three mixins supply
+the batch-query surface of :mod:`repro.engine` (``range_search_many`` /
+``distance_range_many`` / ``knn_many``):
+
+- ``LoopQueryMixin`` provides the measured per-query loop as the explicitly
+  named ``*_loop`` methods — the instrumented single-query side of every
+  batch-vs-loop comparison;
+- ``BatchQueryMixin`` aliases the loop as the batch API, for structures with
+  no traversable directory (sequential scan, VA-file);
+- ``KernelQueryMixin`` serves both the batch API *and* the single-query
+  methods from the structure-agnostic traversal kernel
+  (:mod:`repro.engine.kernel`), for every paged structure implementing the
+  ``trav_*`` protocol.
+
+``EntryLeaf`` is the numpy-backed data page reused by the R-tree family.
 """
 
 from __future__ import annotations
@@ -42,39 +51,46 @@ class FeatureIndex(Protocol):
     def __len__(self) -> int: ...
 
 
-class BatchQueryMixin:
-    """Default batch-query API: a measured loop over the single-query calls.
+def measured_loop(index, label: str, calls):
+    """Run ``calls`` one by one against ``index`` with exact instrumentation.
 
-    Indexes without a shared-traversal engine inherit this so the batched
-    harness, the CLI and the engine benchmark can drive every structure
-    through one interface.  With ``return_metrics=True`` the loop measures
-    every query exactly (latency via ``perf_counter``, pages via an
-    ``IOStats`` checkpoint) and returns a
-    :class:`repro.engine.metrics.BatchMetrics` alongside the results —
-    which is also how the single-query side of batch-vs-loop comparisons
-    is instrumented.
+    Module-level (not a mixin method) so the ``*_loop`` methods can be
+    invoked *unbound* on any object with an ``io`` accountant — including
+    the hybrid tree, which does not inherit the mixin.
+    """
+    from repro.engine.metrics import LoopRecorder
+
+    recorder = LoopRecorder(label, index.io)
+    # Charge both access kinds: a checkpoint of random_reads alone
+    # silently drops the sequential reads that dominate seqscan/VA-file.
+    reads0 = index.io.random_reads + index.io.sequential_reads
+    results = []
+    for call in calls:
+        recorder.start_query()
+        results.append(call())
+        recorder.end_query()
+    charged = (index.io.random_reads + index.io.sequential_reads) - reads0
+    return results, recorder.finish(charged_reads=charged)
+
+
+class LoopQueryMixin:
+    """The measured per-query loop, under the explicit ``*_loop`` names.
+
+    With ``return_metrics=True`` the loop measures every query exactly
+    (latency via ``perf_counter``, pages via an ``IOStats`` checkpoint) and
+    returns a :class:`repro.engine.metrics.BatchMetrics` alongside the
+    results — the instrumented single-query side of every batch-vs-loop
+    comparison in the benchmarks and the conformance suite.
     """
 
-    def _run_measured(self, label: str, calls):
-        from repro.engine.metrics import LoopRecorder
-
-        recorder = LoopRecorder(label, self.io)
-        reads0 = self.io.random_reads
-        results = []
-        for call in calls:
-            recorder.start_query()
-            results.append(call())
-            recorder.end_query()
-        return results, recorder.finish(charged_reads=self.io.random_reads - reads0)
-
-    def range_search_many(self, queries, return_metrics: bool = False):
+    def range_search_loop(self, queries, return_metrics: bool = False):
         if not return_metrics:
             return [self.range_search(q) for q in queries]
-        return self._run_measured(
-            "range-loop", [lambda q=q: self.range_search(q) for q in queries]
+        return measured_loop(
+            self, "range-loop", [lambda q=q: self.range_search(q) for q in queries]
         )
 
-    def distance_range_many(
+    def distance_range_loop(
         self, centers, radii, metric: Metric = L2, return_metrics: bool = False
     ):
         centers = np.asarray(centers)
@@ -84,7 +100,8 @@ class BatchQueryMixin:
                 self.distance_range(c, float(r), metric)
                 for c, r in zip(centers, radii)
             ]
-        return self._run_measured(
+        return measured_loop(
+            self,
             "distance-loop",
             [
                 lambda c=c, r=r: self.distance_range(c, float(r), metric)
@@ -92,7 +109,7 @@ class BatchQueryMixin:
             ],
         )
 
-    def knn_many(
+    def knn_loop(
         self,
         centers,
         k: int,
@@ -108,9 +125,80 @@ class BatchQueryMixin:
         )
         if not return_metrics:
             return [self.knn(c, k, metric, **kwargs) for c in centers]
-        return self._run_measured(
-            "knn-loop", [lambda c=c: self.knn(c, k, metric, **kwargs) for c in centers]
+        return measured_loop(
+            self,
+            "knn-loop",
+            [lambda c=c: self.knn(c, k, metric, **kwargs) for c in centers],
         )
+
+
+class BatchQueryMixin(LoopQueryMixin):
+    """Batch-query API served by the measured loop.
+
+    For structures with no traversable directory (sequential scan, VA-file)
+    the loop *is* the batch semantics: every query pays the structure's full
+    scan cost, so the batched harness, the CLI and the engine benchmark can
+    still drive them through one interface.
+    """
+
+    range_search_many = LoopQueryMixin.range_search_loop
+    distance_range_many = LoopQueryMixin.distance_range_loop
+    knn_many = LoopQueryMixin.knn_loop
+
+
+class KernelQueryMixin(LoopQueryMixin):
+    """Batch *and* single-query API served by the traversal kernel.
+
+    Structures implementing the ``trav_*`` protocol (see
+    :mod:`repro.engine.kernel`) inherit this so single-query, batched, and
+    parallel execution all flow through the same traversal code with the
+    same accounting; the single-query methods are the kernel at batch size
+    one.  The ``*_loop`` methods from :class:`LoopQueryMixin` remain
+    available as the measured per-query baseline.
+    """
+
+    def range_search_many(self, queries, return_metrics: bool = False):
+        from repro.engine.kernel import kernel_range_search_many
+
+        return kernel_range_search_many(self, queries, return_metrics)
+
+    def distance_range_many(
+        self, centers, radii, metric: Metric = L2, return_metrics: bool = False
+    ):
+        from repro.engine.kernel import kernel_distance_range_many
+
+        return kernel_distance_range_many(self, centers, radii, metric, return_metrics)
+
+    def knn_many(
+        self,
+        centers,
+        k: int,
+        metric: Metric = L2,
+        approximation_factor: float = 0.0,
+        return_metrics: bool = False,
+    ):
+        from repro.engine.kernel import kernel_knn_many
+
+        return kernel_knn_many(
+            self, centers, k, metric, approximation_factor, return_metrics
+        )
+
+    def range_search(self, query: Rect) -> list[int]:
+        return self.range_search_many([query])[0]
+
+    def distance_range(
+        self, query: np.ndarray, radius: float, metric: Metric = L2
+    ) -> list[tuple[int, float]]:
+        return self.distance_range_many([query], radius, metric)[0]
+
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        metric: Metric = L2,
+        approximation_factor: float = 0.0,
+    ) -> list[tuple[int, float]]:
+        return self.knn_many([query], k, metric, approximation_factor)[0]
 
 
 class EntryLeaf:

@@ -34,18 +34,17 @@ remain valid) so users can measure what the paper chose not to.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.common import EntryLeaf, check_vector
+from repro.baselines.common import EntryLeaf, KernelQueryMixin, check_vector
 from repro.core import kdnodes
 from repro.core.kdnodes import KDInternal, KDLeaf, KDNode
 from repro.core.splits import choose_data_split
-from repro.distances import L2, Metric
+from repro.distances import Metric, mindist_rect_many
+from repro.engine.kernel import ChildBound
 from repro.geometry.rect import Rect
 from repro.storage.iostats import IOStats
 from repro.storage.nodemanager import NodeManager
@@ -87,8 +86,36 @@ class HBIndexNode:
         return len(set(kdnodes.child_ids(self.kd_root)))
 
 
-class HBTree:
+class _HBBound(ChildBound):
+    """Kernel pruning bound for one kd-leaf fragment of an hB index node.
+
+    Box queries test the *path-constraint rect* (±inf outside the kd path's
+    clipped dims): the scalar walk never tested the query against the node's
+    own region, only against the kd split planes, and a query box outside
+    the tree bounds must still traverse.  Distance queries use the true
+    clipped region, whose mindist subsumes every internal-edge test.
+    """
+
+    __slots__ = ("path_rect", "region")
+
+    def __init__(self, path_rect: Rect, region: Rect):
+        self.path_rect = path_rect
+        self.region = region
+
+    def box_mask(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        return self.path_rect.intersects_boxes_mask(lows, highs)
+
+    def mindist(self, qs: np.ndarray, metric: Metric) -> np.ndarray:
+        return mindist_rect_many(metric, qs, self.region.low, self.region.high)
+
+
+class HBTree(KernelQueryMixin):
     """Dynamic hB-tree over a ``dims``-dimensional feature space."""
+
+    # Fragments share pages: the kernel charges each page once per batch
+    # and scans each (leaf, query) pair once, like the old per-query
+    # ``charged``/``scanned`` sets.
+    trav_dedup = True
 
     def __init__(
         self,
@@ -263,123 +290,46 @@ class HBTree:
         return False
 
     # ------------------------------------------------------------------
-    # Queries (page touches de-duplicated: fragments share pages)
+    # Queries: the traversal kernel (KernelQueryMixin) over the protocol,
+    # with page touches de-duplicated (fragments share pages)
     # ------------------------------------------------------------------
-    def range_search(self, query: Rect) -> list[int]:
-        results: dict[int, None] = {}
-        scanned: set[int] = set()
-        charged: set[int] = set()
-
-        def visit(node_id: int, region: Rect) -> None:
-            node = self._get_once(node_id, charged)
-            if isinstance(node, EntryLeaf):
-                if node_id in scanned:
-                    return
-                scanned.add(node_id)
-                if node.count:
-                    mask = query.contains_points_mask(node.points())
-                    for o in node.live_oids()[mask]:
-                        results[int(o)] = None
-                return
-            walk(node.kd_root, region)
-
-        def walk(kd: KDNode, region: Rect) -> None:
-            if isinstance(kd, KDLeaf):
-                visit(kd.child_id, region)
-                return
-            if query.low[kd.dim] <= kd.lsp:
-                walk(kd.left, region.clip_below(kd.dim, kd.lsp))
-            if query.high[kd.dim] >= kd.rsp:
-                walk(kd.right, region.clip_above(kd.dim, kd.rsp))
-
-        visit(self._root_id, self.bounds)
-        return list(results)
-
-    def _get_once(self, node_id: int, charged: set[int]):
-        """Fetch a node, charging I/O only on its first touch this query."""
-        node = self.nm.get(node_id, charge=node_id not in charged)
-        charged.add(node_id)
-        return node
-
     def point_search(self, vector: np.ndarray) -> list[int]:
         v32 = np.asarray(vector, dtype=np.float32).astype(np.float64)
         return self.range_search(Rect(v32, v32))
 
-    def distance_range(
-        self, query: np.ndarray, radius: float, metric: Metric = L2
-    ) -> list[tuple[int, float]]:
-        q = check_vector(query, self.dims)
-        out: dict[int, float] = {}
-        scanned: set[int] = set()
-        charged: set[int] = set()
+    def trav_root(self):
+        return self._root_id, self.bounds
 
-        def visit(node_id: int, region: Rect) -> None:
-            node = self._get_once(node_id, charged)
-            if isinstance(node, EntryLeaf):
-                if node_id in scanned:
-                    return
-                scanned.add(node_id)
-                if node.count:
-                    dists = metric.distance_batch(node.points().astype(np.float64), q)
-                    for i in np.flatnonzero(dists <= radius):
-                        out[int(node.live_oids()[i])] = float(dists[i])
-                return
-            walk(node.kd_root, region)
+    def trav_node(self, ref: int, charge: bool = True):
+        return self.nm.get(ref, charge=charge)
 
-        def walk(kd: KDNode, region: Rect) -> None:
+    def trav_is_leaf(self, node) -> bool:
+        return isinstance(node, EntryLeaf)
+
+    def trav_leaf_points(self, node):
+        return node.points(), node.live_oids()
+
+    def trav_children(self, node, region):
+        out = []
+        path0 = Rect(np.full(self.dims, -np.inf), np.full(self.dims, np.inf))
+
+        def walk(kd: KDNode, reg: Rect, path: Rect) -> None:
             if isinstance(kd, KDLeaf):
-                if metric.mindist_rect(q, region.low, region.high) <= radius:
-                    visit(kd.child_id, region)
+                out.append((kd.child_id, reg, _HBBound(path, reg)))
                 return
-            left_region = region.clip_below(kd.dim, kd.lsp)
-            if metric.mindist_rect(q, left_region.low, left_region.high) <= radius:
-                walk(kd.left, left_region)
-            right_region = region.clip_above(kd.dim, kd.rsp)
-            if metric.mindist_rect(q, right_region.low, right_region.high) <= radius:
-                walk(kd.right, right_region)
+            walk(
+                kd.left,
+                reg.clip_below(kd.dim, kd.lsp),
+                path.clip_below(kd.dim, kd.lsp),
+            )
+            walk(
+                kd.right,
+                reg.clip_above(kd.dim, kd.rsp),
+                path.clip_above(kd.dim, kd.rsp),
+            )
 
-        visit(self._root_id, self.bounds)
-        return list(out.items())
-
-    def knn(self, query: np.ndarray, k: int, metric: Metric = L2) -> list[tuple[int, float]]:
-        q = check_vector(query, self.dims)
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        counter = itertools.count()
-        frontier: list[tuple[float, int, int, Rect]] = [
-            (0.0, next(counter), self._root_id, self.bounds)
-        ]
-        best: list[tuple[float, int]] = []
-        scanned: set[int] = set()
-        charged: set[int] = set()
-
-        def kth() -> float:
-            return -best[0][0] if len(best) >= k else np.inf
-
-        while frontier:
-            bound, _, node_id, region = heapq.heappop(frontier)
-            if bound > kth():
-                break
-            node = self._get_once(node_id, charged)
-            if isinstance(node, EntryLeaf):
-                if node_id in scanned or not node.count:
-                    continue
-                scanned.add(node_id)
-                dists = metric.distance_batch(node.points().astype(np.float64), q)
-                for i, dist in enumerate(dists):
-                    dist = float(dist)
-                    if len(best) < k or dist < kth():
-                        heapq.heappush(best, (-dist, int(node.live_oids()[i])))
-                        if len(best) > k:
-                            heapq.heappop(best)
-                continue
-            for leaf, leaf_region in kdnodes.leaves_with_regions(node.kd_root, region):
-                child_bound = metric.mindist_rect(q, leaf_region.low, leaf_region.high)
-                if child_bound <= kth():
-                    heapq.heappush(
-                        frontier, (child_bound, next(counter), leaf.child_id, leaf_region)
-                    )
-        return sorted(((oid, -neg) for neg, oid in best), key=lambda t: (t[1], t[0]))
+        walk(node.kd_root, region, path0)
+        return out
 
     # ------------------------------------------------------------------
     # Structural measurements

@@ -24,13 +24,13 @@ configuration.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 
 import numpy as np
 
-from repro.baselines.common import EntryLeaf, check_vector
+from repro.baselines.common import EntryLeaf, KernelQueryMixin, check_vector
 from repro.distances import L2, Metric
+from repro.engine.kernel import ChildBound
 from repro.storage.iostats import IOStats
 from repro.storage.nodemanager import NodeManager
 from repro.storage.page import FLOAT_SIZE, OID_SIZE, PAGE_ID_SIZE, PageLayout
@@ -75,8 +75,33 @@ class MIndexNode:
         return len(self.entries)
 
 
-class MTree:
+class _RouterBound(ChildBound):
+    """Kernel pruning bound from a routing entry's covering radius.
+
+    ``distance_mask`` keeps the original triangle-inequality comparison
+    ``d(router, q) <= radius + covering_radius`` (not the rearranged
+    ``mindist <= radius``) so float behaviour matches the scalar path.
+    """
+
+    __slots__ = ("entry",)
+
+    def __init__(self, entry: MEntry):
+        self.entry = entry
+
+    def _router_dists(self, qs: np.ndarray, metric: Metric) -> np.ndarray:
+        return metric.distance_batch(qs, self.entry.router)
+
+    def distance_mask(self, qs: np.ndarray, radii: np.ndarray, metric: Metric) -> np.ndarray:
+        return self._router_dists(qs, metric) <= radii + self.entry.radius
+
+    def mindist(self, qs: np.ndarray, metric: Metric) -> np.ndarray:
+        return np.maximum(0.0, self._router_dists(qs, metric) - self.entry.radius)
+
+
+class MTree(KernelQueryMixin):
     """Dynamic M-tree under a metric fixed at construction."""
+
+    trav_supports_box = False
 
     def __init__(
         self,
@@ -258,9 +283,16 @@ class MTree:
             self._split_index(path, parent_id, parent)
 
     # ------------------------------------------------------------------
-    # Queries (fixed metric; no window queries)
+    # Queries (fixed metric; no window queries): the traversal kernel
     # ------------------------------------------------------------------
     def range_search(self, query) -> list[int]:
+        raise TypeError(
+            "the M-tree is distance-based: it has no coordinate geometry to "
+            "answer bounding-box (window) queries — use a feature-based "
+            "index such as the hybrid tree"
+        )
+
+    def range_search_many(self, queries, return_metrics: bool = False):
         raise TypeError(
             "the M-tree is distance-based: it has no coordinate geometry to "
             "answer bounding-box (window) queries — use a feature-based "
@@ -270,63 +302,58 @@ class MTree:
     def distance_range(
         self, query: np.ndarray, radius: float, metric: Metric | None = None
     ) -> list[tuple[int, float]]:
-        if metric is not None:
-            self._check_metric(metric)
-        q = check_vector(query, self.dims)
-        out: list[tuple[int, float]] = []
-
-        def visit(node_id: int) -> None:
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if node.count:
-                    dists = self.metric.distance_batch(
-                        node.points().astype(np.float64), q
-                    )
-                    for i in np.flatnonzero(dists <= radius):
-                        out.append((int(node.live_oids()[i]), float(dists[i])))
-                return
-            for entry in node.entries:
-                if self.metric.distance(entry.router, q) <= radius + entry.radius:
-                    visit(entry.child_id)
-
-        visit(self._root_id)
-        return out
+        return self.distance_range_many([query], radius, metric)[0]
 
     def knn(
-        self, query: np.ndarray, k: int, metric: Metric | None = None
+        self,
+        query: np.ndarray,
+        k: int,
+        metric: Metric | None = None,
+        approximation_factor: float = 0.0,
     ) -> list[tuple[int, float]]:
+        return self.knn_many([query], k, metric, approximation_factor)[0]
+
+    def distance_range_many(
+        self, centers, radii, metric: Metric | None = None, return_metrics: bool = False
+    ):
+        from repro.engine.kernel import kernel_distance_range_many
+
         if metric is not None:
             self._check_metric(metric)
-        q = check_vector(query, self.dims)
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        counter = itertools.count()
-        frontier: list[tuple[float, int, int]] = [(0.0, next(counter), self._root_id)]
-        best: list[tuple[float, int]] = []
+        return kernel_distance_range_many(
+            self, centers, radii, self.metric, return_metrics
+        )
 
-        def kth() -> float:
-            return -best[0][0] if len(best) >= k else np.inf
+    def knn_many(
+        self,
+        centers,
+        k: int,
+        metric: Metric | None = None,
+        approximation_factor: float = 0.0,
+        return_metrics: bool = False,
+    ):
+        from repro.engine.kernel import kernel_knn_many
 
-        while frontier:
-            bound, _, node_id = heapq.heappop(frontier)
-            if bound > kth():
-                break
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if not node.count:
-                    continue
-                dists = self.metric.distance_batch(node.points().astype(np.float64), q)
-                for i, dist in enumerate(dists):
-                    dist = float(dist)
-                    if len(best) < k or dist < kth():
-                        heapq.heappush(best, (-dist, int(node.live_oids()[i])))
-                        if len(best) > k:
-                            heapq.heappop(best)
-                continue
-            for entry in node.entries:
-                bound = max(
-                    0.0, self.metric.distance(entry.router, q) - entry.radius
-                )
-                if bound <= kth():
-                    heapq.heappush(frontier, (bound, next(counter), entry.child_id))
-        return sorted(((oid, -neg) for neg, oid in best), key=lambda t: (t[1], t[0]))
+        if metric is not None:
+            self._check_metric(metric)
+        return kernel_knn_many(
+            self, centers, k, self.metric, approximation_factor, return_metrics
+        )
+
+    def trav_check_metric(self, metric: Metric) -> None:
+        self._check_metric(metric)
+
+    def trav_root(self):
+        return self._root_id, None
+
+    def trav_node(self, ref: int, charge: bool = True):
+        return self.nm.get(ref, charge=charge)
+
+    def trav_is_leaf(self, node) -> bool:
+        return isinstance(node, EntryLeaf)
+
+    def trav_leaf_points(self, node):
+        return node.points(), node.live_oids()
+
+    def trav_children(self, node, ctx):
+        return [(entry.child_id, None, _RouterBound(entry)) for entry in node.entries]

@@ -10,18 +10,15 @@ the same substrate role (see :mod:`repro.baselines.srtree`).
 
 from __future__ import annotations
 
-import heapq
-import itertools
-
 import numpy as np
 
 from repro.baselines.common import (
-    BatchQueryMixin,
     EntryLeaf,
+    KernelQueryMixin,
     check_vector,
     quadratic_partition,
 )
-from repro.distances import L2, Metric
+from repro.engine.kernel import RectBound
 from repro.geometry.rect import Rect
 from repro.storage.iostats import IOStats
 from repro.storage.nodemanager import NodeManager
@@ -49,7 +46,7 @@ class RIndexNode:
         raise KeyError(child_id)
 
 
-class RTree(BatchQueryMixin):
+class RTree(KernelQueryMixin):
     """Dynamic R-tree over a ``dims``-dimensional feature space."""
 
     def __init__(
@@ -324,81 +321,23 @@ class RTree(BatchQueryMixin):
             self._split_index(path, node_id, node)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries: the traversal kernel (KernelQueryMixin) over the protocol
     # ------------------------------------------------------------------
-    def range_search(self, query: Rect) -> list[int]:
-        results: list[int] = []
-
-        def visit(node_id: int) -> None:
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if node.count:
-                    mask = query.contains_points_mask(node.points())
-                    results.extend(int(o) for o in node.live_oids()[mask])
-                return
-            for child_id, rect in node.entries:
-                if query.intersects(rect):
-                    visit(child_id)
-
-        visit(self._root_id)
-        return results
-
     def point_search(self, vector: np.ndarray) -> list[int]:
         v32 = np.asarray(vector, dtype=np.float32).astype(np.float64)
         return self.range_search(Rect(v32, v32))
 
-    def distance_range(
-        self, query: np.ndarray, radius: float, metric: Metric = L2
-    ) -> list[tuple[int, float]]:
-        q = check_vector(query, self.dims)
-        out: list[tuple[int, float]] = []
+    def trav_root(self):
+        return self._root_id, None
 
-        def visit(node_id: int) -> None:
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if node.count:
-                    dists = metric.distance_batch(node.points().astype(np.float64), q)
-                    for i in np.flatnonzero(dists <= radius):
-                        out.append((int(node.live_oids()[i]), float(dists[i])))
-                return
-            for child_id, rect in node.entries:
-                if metric.mindist_rect(q, rect.low, rect.high) <= radius:
-                    visit(child_id)
+    def trav_node(self, ref: int, charge: bool = True):
+        return self.nm.get(ref, charge=charge)
 
-        visit(self._root_id)
-        return out
+    def trav_is_leaf(self, node) -> bool:
+        return isinstance(node, EntryLeaf)
 
-    def knn(
-        self, query: np.ndarray, k: int, metric: Metric = L2
-    ) -> list[tuple[int, float]]:
-        q = check_vector(query, self.dims)
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        counter = itertools.count()
-        frontier: list[tuple[float, int, int]] = [(0.0, next(counter), self._root_id)]
-        best: list[tuple[float, int]] = []
+    def trav_leaf_points(self, node):
+        return node.points(), node.live_oids()
 
-        def kth() -> float:
-            return -best[0][0] if len(best) >= k else np.inf
-
-        while frontier:
-            bound, _, node_id = heapq.heappop(frontier)
-            if bound > kth():
-                break
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if not node.count:
-                    continue
-                dists = metric.distance_batch(node.points().astype(np.float64), q)
-                for i, dist in enumerate(dists):
-                    dist = float(dist)
-                    if len(best) < k or dist < kth():
-                        heapq.heappush(best, (-dist, int(node.live_oids()[i])))
-                        if len(best) > k:
-                            heapq.heappop(best)
-                continue
-            for child_id, rect in node.entries:
-                bound = metric.mindist_rect(q, rect.low, rect.high)
-                if bound <= kth():
-                    heapq.heappush(frontier, (bound, next(counter), child_id))
-        return sorted(((oid, -neg) for neg, oid in best), key=lambda t: (t[1], t[0]))
+    def trav_children(self, node, ctx):
+        return [(child_id, None, RectBound(rect)) for child_id, rect in node.entries]

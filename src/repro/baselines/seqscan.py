@@ -120,9 +120,10 @@ class SequentialScan(BatchQueryMixin):
             return []
         dists = metric.distance_batch(self._vectors[: self._count].astype(np.float64), q)
         k = min(k, self._count)
-        idx = np.argpartition(dists, k - 1)[:k]
-        hits = [(int(self._oids[i]), float(dists[i])) for i in idx]
-        return sorted(hits, key=lambda t: (t[1], t[0]))
+        # Deterministic (distance, oid) order: argpartition picks an
+        # arbitrary subset among tied boundary distances, so sort instead.
+        idx = np.lexsort((self._oids[: self._count], dists))[:k]
+        return [(int(self._oids[i]), float(dists[i])) for i in idx]
 
     # Compatibility with the harness's timing helpers.
     def cpu_reference_scan(self, query: np.ndarray, metric: Metric = L2) -> np.ndarray:

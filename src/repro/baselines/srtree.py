@@ -28,14 +28,17 @@ paper's Figure 7(c,d) exercises with the L1 metric.
 
 from __future__ import annotations
 
-import heapq
-import itertools
-
 import numpy as np
 
-from repro.baselines.common import EntryLeaf, check_vector, quadratic_partition
+from repro.baselines.common import (
+    EntryLeaf,
+    KernelQueryMixin,
+    check_vector,
+    quadratic_partition,
+)
 from repro.baselines.sstree import _is_euclidean
-from repro.distances import L2, Metric
+from repro.distances import Metric
+from repro.engine.kernel import ChildBound
 from repro.geometry.rect import Rect
 from repro.geometry.sphere import Sphere
 from repro.storage.iostats import IOStats
@@ -64,6 +67,31 @@ class SREntry:
         return bound
 
 
+class _SRBound(ChildBound):
+    """Kernel pruning bound for an SR-tree entry: rect test first, sphere
+    test only where the rect passes (same short-circuit order as the
+    scalar ``query.intersects(rect) and sphere.intersects_rect(query)``)."""
+
+    __slots__ = ("entry",)
+
+    def __init__(self, entry: SREntry):
+        self.entry = entry
+
+    def box_mask(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        mask = self.entry.rect.intersects_boxes_mask(lows, highs)
+        sphere = self.entry.sphere
+        for i in np.flatnonzero(mask):
+            mask[i] = sphere.intersects_rect(Rect(lows[i], highs[i]))
+        return mask
+
+    def mindist(self, qs: np.ndarray, metric: Metric) -> np.ndarray:
+        return np.fromiter(
+            (self.entry.mindist(q, metric) for q in qs),
+            dtype=np.float64,
+            count=len(qs),
+        )
+
+
 class SRIndexNode:
     __slots__ = ("entries", "level")
 
@@ -76,7 +104,7 @@ class SRIndexNode:
         return len(self.entries)
 
 
-class SRTree:
+class SRTree(KernelQueryMixin):
     """Dynamic SR-tree over a ``dims``-dimensional feature space."""
 
     INSERT_POLICIES = ("rtree", "sstree")
@@ -260,80 +288,23 @@ class SRTree:
             self._split_index(path, parent_id, parent)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries: the traversal kernel (KernelQueryMixin) over the protocol
     # ------------------------------------------------------------------
-    def range_search(self, query: Rect) -> list[int]:
-        """Box query: prune when the box misses the rect *or* the sphere."""
-        results: list[int] = []
-
-        def visit(node_id: int) -> None:
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if node.count:
-                    mask = query.contains_points_mask(node.points())
-                    results.extend(int(o) for o in node.live_oids()[mask])
-                return
-            for entry in node.entries:
-                if query.intersects(entry.rect) and entry.sphere.intersects_rect(query):
-                    visit(entry.child_id)
-
-        visit(self._root_id)
-        return results
-
     def point_search(self, vector: np.ndarray) -> list[int]:
         v32 = np.asarray(vector, dtype=np.float32).astype(np.float64)
         return self.range_search(Rect(v32, v32))
 
-    def distance_range(
-        self, query: np.ndarray, radius: float, metric: Metric = L2
-    ) -> list[tuple[int, float]]:
-        q = check_vector(query, self.dims)
-        out: list[tuple[int, float]] = []
+    def trav_root(self):
+        return self._root_id, None
 
-        def visit(node_id: int) -> None:
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if node.count:
-                    dists = metric.distance_batch(node.points().astype(np.float64), q)
-                    for i in np.flatnonzero(dists <= radius):
-                        out.append((int(node.live_oids()[i]), float(dists[i])))
-                return
-            for entry in node.entries:
-                if entry.mindist(q, metric) <= radius:
-                    visit(entry.child_id)
+    def trav_node(self, ref: int, charge: bool = True):
+        return self.nm.get(ref, charge=charge)
 
-        visit(self._root_id)
-        return out
+    def trav_is_leaf(self, node) -> bool:
+        return isinstance(node, EntryLeaf)
 
-    def knn(self, query: np.ndarray, k: int, metric: Metric = L2) -> list[tuple[int, float]]:
-        q = check_vector(query, self.dims)
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        counter = itertools.count()
-        frontier: list[tuple[float, int, int]] = [(0.0, next(counter), self._root_id)]
-        best: list[tuple[float, int]] = []
+    def trav_leaf_points(self, node):
+        return node.points(), node.live_oids()
 
-        def kth() -> float:
-            return -best[0][0] if len(best) >= k else np.inf
-
-        while frontier:
-            bound, _, node_id = heapq.heappop(frontier)
-            if bound > kth():
-                break
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if not node.count:
-                    continue
-                dists = metric.distance_batch(node.points().astype(np.float64), q)
-                for i, dist in enumerate(dists):
-                    dist = float(dist)
-                    if len(best) < k or dist < kth():
-                        heapq.heappush(best, (-dist, int(node.live_oids()[i])))
-                        if len(best) > k:
-                            heapq.heappop(best)
-                continue
-            for entry in node.entries:
-                bound = entry.mindist(q, metric)
-                if bound <= kth():
-                    heapq.heappush(frontier, (bound, next(counter), entry.child_id))
-        return sorted(((oid, -neg) for neg, oid in best), key=lambda t: (t[1], t[0]))
+    def trav_children(self, node, ctx):
+        return [(entry.child_id, None, _SRBound(entry)) for entry in node.entries]

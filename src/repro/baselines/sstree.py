@@ -13,13 +13,11 @@ design avoids (paper Sections 1-2).
 
 from __future__ import annotations
 
-import heapq
-import itertools
-
 import numpy as np
 
-from repro.baselines.common import EntryLeaf, check_vector
-from repro.distances import L2, LpMetric, Metric
+from repro.baselines.common import EntryLeaf, KernelQueryMixin, check_vector
+from repro.distances import LpMetric, Metric
+from repro.engine.kernel import ChildBound
 from repro.geometry.rect import Rect
 from repro.geometry.sphere import Sphere
 from repro.storage.iostats import IOStats
@@ -43,6 +41,30 @@ class SSEntry:
         self.weight = weight
 
 
+class _SphereBound(ChildBound):
+    """Kernel pruning bound for a sphere-bounded subtree (per-row scalar
+    geometry: sphere/box tests have no batched form)."""
+
+    __slots__ = ("sphere",)
+
+    def __init__(self, sphere: Sphere):
+        self.sphere = sphere
+
+    def box_mask(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (self.sphere.intersects_rect(Rect(lo, hi)) for lo, hi in zip(lows, highs)),
+            dtype=bool,
+            count=len(lows),
+        )
+
+    def mindist(self, qs: np.ndarray, metric: Metric) -> np.ndarray:
+        return np.fromiter(
+            (self.sphere.mindist_point(q) for q in qs),
+            dtype=np.float64,
+            count=len(qs),
+        )
+
+
 class SSIndexNode:
     __slots__ = ("entries", "level")
 
@@ -55,7 +77,7 @@ class SSIndexNode:
         return len(self.entries)
 
 
-class SSTree:
+class SSTree(KernelQueryMixin):
     """Dynamic SS-tree; supports Euclidean distance queries and box queries."""
 
     def __init__(
@@ -213,26 +235,8 @@ class SSTree:
             self._split_index(path, parent_id, parent)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries: the traversal kernel (KernelQueryMixin) over the protocol
     # ------------------------------------------------------------------
-    def range_search(self, query: Rect) -> list[int]:
-        """Box query via sphere/box intersection tests."""
-        results: list[int] = []
-
-        def visit(node_id: int) -> None:
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if node.count:
-                    mask = query.contains_points_mask(node.points())
-                    results.extend(int(o) for o in node.live_oids()[mask])
-                return
-            for entry in node.entries:
-                if entry.sphere.intersects_rect(query):
-                    visit(entry.child_id)
-
-        visit(self._root_id)
-        return results
-
     def point_search(self, vector: np.ndarray) -> list[int]:
         """Object ids stored at exactly ``vector`` (float32 equality)."""
         v32 = np.asarray(vector, dtype=np.float32).astype(np.float64)
@@ -246,58 +250,23 @@ class SSTree:
                 "the hybrid tree for arbitrary metrics)"
             )
 
-    def distance_range(
-        self, query: np.ndarray, radius: float, metric: Metric = L2
-    ) -> list[tuple[int, float]]:
+    def trav_check_metric(self, metric: Metric) -> None:
         self._require_euclidean(metric)
-        q = check_vector(query, self.dims)
-        out: list[tuple[int, float]] = []
 
-        def visit(node_id: int) -> None:
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if node.count:
-                    dists = metric.distance_batch(node.points().astype(np.float64), q)
-                    for i in np.flatnonzero(dists <= radius):
-                        out.append((int(node.live_oids()[i]), float(dists[i])))
-                return
-            for entry in node.entries:
-                if entry.sphere.mindist_point(q) <= radius:
-                    visit(entry.child_id)
+    def trav_root(self):
+        return self._root_id, None
 
-        visit(self._root_id)
-        return out
+    def trav_node(self, ref: int, charge: bool = True):
+        return self.nm.get(ref, charge=charge)
 
-    def knn(self, query: np.ndarray, k: int, metric: Metric = L2) -> list[tuple[int, float]]:
-        self._require_euclidean(metric)
-        q = check_vector(query, self.dims)
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        counter = itertools.count()
-        frontier: list[tuple[float, int, int]] = [(0.0, next(counter), self._root_id)]
-        best: list[tuple[float, int]] = []
+    def trav_is_leaf(self, node) -> bool:
+        return isinstance(node, EntryLeaf)
 
-        def kth() -> float:
-            return -best[0][0] if len(best) >= k else np.inf
+    def trav_leaf_points(self, node):
+        return node.points(), node.live_oids()
 
-        while frontier:
-            bound, _, node_id = heapq.heappop(frontier)
-            if bound > kth():
-                break
-            node = self.nm.get(node_id)
-            if isinstance(node, EntryLeaf):
-                if not node.count:
-                    continue
-                dists = metric.distance_batch(node.points().astype(np.float64), q)
-                for i, dist in enumerate(dists):
-                    dist = float(dist)
-                    if len(best) < k or dist < kth():
-                        heapq.heappush(best, (-dist, int(node.live_oids()[i])))
-                        if len(best) > k:
-                            heapq.heappop(best)
-                continue
-            for entry in node.entries:
-                bound = entry.sphere.mindist_point(q)
-                if bound <= kth():
-                    heapq.heappush(frontier, (bound, next(counter), entry.child_id))
-        return sorted(((oid, -neg) for neg, oid in best), key=lambda t: (t[1], t[0]))
+    def trav_children(self, node, ctx):
+        return [
+            (entry.child_id, None, _SphereBound(entry.sphere))
+            for entry in node.entries
+        ]

@@ -23,14 +23,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.common import check_vector
+from repro.baselines.common import BatchQueryMixin, check_vector
 from repro.distances import L2, LpMetric, Metric
 from repro.geometry.rect import Rect
 from repro.storage.iostats import AccessKind, IOStats
 from repro.storage.page import PAGE_HEADER_SIZE, PageLayout, data_node_capacity
 
 
-class VAFile:
+class VAFile(BatchQueryMixin):
     """Vector-approximation file over a heap of ``float32`` vectors."""
 
     def __init__(
@@ -215,6 +215,8 @@ class VAFile:
         bounds = self._cell_lower_bounds(q, metric)
         order = np.argsort(bounds, kind="stable")
         kth = np.inf
+        # Heap keyed (-dist, -oid): ties on distance evict the largest oid
+        # first, so the result set is the deterministic (dist, oid) prefix.
         best: list[tuple[float, int]] = []
         verified: list[int] = []
         import heapq
@@ -226,10 +228,13 @@ class VAFile:
                 metric.distance(self._vectors[idx].astype(np.float64), q)
             )
             verified.append(int(idx))
-            if len(best) < k or dist < kth:
-                heapq.heappush(best, (-dist, int(self._oids[idx])))
-                if len(best) > k:
-                    heapq.heappop(best)
-                kth = -best[0][0] if len(best) >= k else np.inf
+            oid = int(self._oids[idx])
+            if len(best) < k:
+                heapq.heappush(best, (-dist, -oid))
+            elif (dist, oid) < (-best[0][0], -best[0][1]):
+                heapq.heapreplace(best, (-dist, -oid))
+            kth = -best[0][0] if len(best) >= k else np.inf
         self._charge_candidates(np.array(verified))
-        return sorted(((oid, -neg) for neg, oid in best), key=lambda t: (t[1], t[0]))
+        return sorted(
+            ((-noid, -nd) for nd, noid in best), key=lambda t: (t[1], t[0])
+        )

@@ -232,8 +232,9 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
         fourier_dataset,
         uniform_dataset,
     )
-    from repro.datasets.workload import range_workload
+    from repro.datasets.workload import distance_workload, range_workload
     from repro.engine import QuerySession
+    from repro.eval.harness import build_index
     from repro.eval.report import render_table
 
     if args.queries < 1:
@@ -249,11 +250,12 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
         "clustered": clustered_dataset,
     }
     data = makers[args.dataset](args.count, args.dims, seed=args.seed)
-    tree = HybridTree.bulk_load(data)
+    index = build_index(args.index, data, build="bulk")
     metric = _metric(args.metric)
+    shape = f"height {index.height}, " if hasattr(index, "height") else ""
     print(
-        f"{args.dataset}: {len(tree):,} x {args.dims}-d points, "
-        f"height {tree.height}, {tree.pages():,} pages; "
+        f"{args.dataset}/{args.index}: {len(index):,} x {args.dims}-d points, "
+        f"{shape}{index.pages():,} pages; "
         f"{args.queries} queries per mode",
         file=sys.stderr,
     )
@@ -262,11 +264,11 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
     reports = []
 
     def compare(label, run_loop, run_batch):
-        tree.io.reset()
+        index.io.reset()
         start = time.perf_counter()
         loop_results, loop_metrics = run_loop()
         loop_wall = time.perf_counter() - start
-        tree.io.reset()
+        index.io.reset()
         start = time.perf_counter()
         batch_results, batch_metrics = run_batch()
         batch_wall = time.perf_counter() - start
@@ -289,38 +291,60 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
         reports.append(batch_metrics.render())
 
     workload = range_workload(data, args.queries, args.selectivity, seed=args.seed + 1)
-    boxes = workload.boxes()
-    compare(
-        "range",
-        lambda: _loop_range(tree, boxes),
-        lambda: tree.range_search_many(boxes, return_metrics=True),
-    )
     centers = workload.centers
+    boxes = dist = None
+    if getattr(index, "trav_supports_box", True):
+        boxes = workload.boxes()
+        compare(
+            "range",
+            lambda: _loop_range(index, boxes),
+            lambda: index.range_search_many(boxes, return_metrics=True),
+        )
+    else:
+        # Distance-based structures (M-tree) have no box geometry: bench
+        # distance-range queries at the same selectivity instead.
+        dwork = distance_workload(
+            data, args.queries, args.selectivity, metric=metric, seed=args.seed + 1
+        )
+        dist = (dwork.centers, dwork.radii)
+        compare(
+            "distance",
+            lambda: _loop_distance(index, dist[0], dist[1], metric),
+            lambda: index.distance_range_many(
+                dist[0], dist[1], metric, return_metrics=True
+            ),
+        )
     compare(
         f"knn k={args.k}",
-        lambda: _loop_knn(tree, centers, args.k, metric),
-        lambda: tree.knn_many(centers, args.k, metric, return_metrics=True),
+        lambda: _loop_knn(index, centers, args.k, metric),
+        lambda: index.knn_many(centers, args.k, metric, return_metrics=True),
     )
-    with QuerySession(tree, pin_levels=args.pin_levels) as session:
-        compare(
-            f"knn k={args.k} (session, {session.pinned_pages} pinned)",
-            lambda: _loop_knn(tree, centers, args.k, metric),
-            lambda: session.knn_many(centers, args.k, metric, return_metrics=True),
-        )
+    if isinstance(index, HybridTree):
+        with QuerySession(index, pin_levels=args.pin_levels) as session:
+            compare(
+                f"knn k={args.k} (session, {session.pinned_pages} pinned)",
+                lambda: _loop_knn(index, centers, args.k, metric),
+                lambda: session.knn_many(centers, args.k, metric, return_metrics=True),
+            )
 
-    print(render_table(rows, "batch engine vs single-query loop"))
+    print(render_table(rows, f"batch engine vs single-query loop ({args.index})"))
     for text in reports:
         print()
         print(text)
 
     if args.workers > 1 or args.mmap:
         print()
-        _bench_parallel(args, tree, boxes, centers, metric)
+        _bench_parallel(args, index, boxes, dist, centers, metric)
     return 0
 
 
-def _bench_parallel(args, tree, boxes, centers, metric) -> None:
-    """Save the tree and compare serial vs multi-worker batch execution."""
+def _bench_parallel(args, index, boxes, dist, centers, metric) -> None:
+    """Compare serial batch execution against a multi-worker engine.
+
+    A hybrid tree is saved and reopened so process workers and mmap read
+    handles are exercised; any other structure is parallelised live through
+    thread-worker views of the index itself.
+    """
     import os
     import tempfile
     import time
@@ -329,39 +353,59 @@ def _bench_parallel(args, tree, boxes, centers, metric) -> None:
     from repro.eval.report import render_table
 
     with tempfile.TemporaryDirectory() as tmpdir:
-        path = os.path.join(tmpdir, "bench.tree")
-        tree.save(path)
-        serial_tree = HybridTree.open(path, mmap=args.mmap)
-        rows = []
-        with ParallelQueryEngine(
-            path, workers=args.workers, mode=args.worker_mode, mmap=args.mmap
-        ) as engine:
-            for label, serial_fn, parallel_fn in (
+        if isinstance(index, HybridTree):
+            source = os.path.join(tmpdir, "bench.tree")
+            index.save(source)
+            serial = HybridTree.open(source, mmap=args.mmap)
+            mode = args.worker_mode
+            title = "parallel engine vs serial batch (reopened tree)"
+        else:
+            serial = source = index
+            mode = "thread"
+            title = "parallel engine vs serial batch (live index, thread views)"
+        specs = []
+        if boxes is not None:
+            specs.append(
                 (
                     "range",
-                    lambda: serial_tree.range_search_many(boxes, return_metrics=True),
-                    lambda: engine.range_search_many(boxes, return_metrics=True),
-                ),
+                    lambda: serial.range_search_many(boxes, return_metrics=True),
+                    lambda eng: eng.range_search_many(boxes, return_metrics=True),
+                )
+            )
+        if dist is not None:
+            specs.append(
                 (
-                    f"knn k={args.k}",
-                    lambda: serial_tree.knn_many(
-                        centers, args.k, metric, return_metrics=True
+                    "distance",
+                    lambda: serial.distance_range_many(
+                        dist[0], dist[1], metric, return_metrics=True
                     ),
-                    lambda: engine.knn_many(
-                        centers, args.k, metric, return_metrics=True
+                    lambda eng: eng.distance_range_many(
+                        dist[0], dist[1], metric, return_metrics=True
                     ),
-                ),
-            ):
+                )
+            )
+        specs.append(
+            (
+                f"knn k={args.k}",
+                lambda: serial.knn_many(centers, args.k, metric, return_metrics=True),
+                lambda eng: eng.knn_many(centers, args.k, metric, return_metrics=True),
+            )
+        )
+        rows = []
+        with ParallelQueryEngine(
+            source, workers=args.workers, mode=mode, mmap=args.mmap
+        ) as engine:
+            for label, serial_fn, parallel_fn in specs:
                 start = time.perf_counter()
                 serial_results, serial_metrics = serial_fn()
                 serial_wall = time.perf_counter() - start
                 start = time.perf_counter()
-                parallel_results, parallel_metrics = parallel_fn()
+                parallel_results, parallel_metrics = parallel_fn(engine)
                 parallel_wall = time.perf_counter() - start
                 rows.append(
                     {
                         "mode": label,
-                        "workers": f"{args.workers}x{args.worker_mode}",
+                        "workers": f"{args.workers}x{mode}",
                         "mmap": args.mmap,
                         "serial_s": round(serial_wall, 3),
                         "parallel_s": round(parallel_wall, 3),
@@ -375,41 +419,63 @@ def _bench_parallel(args, tree, boxes, centers, metric) -> None:
                         "identical": serial_results == parallel_results,
                     }
                 )
-        serial_tree.close()
-        print(render_table(rows, "parallel engine vs serial batch (reopened tree)"))
+        if serial is not index:
+            serial.close()
+        print(render_table(rows, title))
 
 
-def _loop_range(tree, boxes):
+def _charged_reads(io) -> int:
+    # Both access kinds: random-only accounting silently drops the
+    # sequential reads that dominate seqscan/VA-file loops.
+    return io.random_reads + io.sequential_reads
+
+
+def _loop_range(index, boxes):
     """Single-query loop instrumented like the baselines' measured loop."""
     from repro.engine.metrics import LoopRecorder
 
-    recorder = LoopRecorder("range-loop", tree.io)
-    reads0 = tree.io.random_reads
+    recorder = LoopRecorder("range-loop", index.io)
+    reads0 = _charged_reads(index.io)
     results = []
     for box in boxes:
         recorder.start_query()
-        results.append(tree.range_search(box))
+        results.append(index.range_search(box))
         recorder.end_query()
-    return results, recorder.finish(charged_reads=tree.io.random_reads - reads0)
+    return results, recorder.finish(charged_reads=_charged_reads(index.io) - reads0)
 
 
-def _loop_knn(tree, centers, k, metric):
+def _loop_distance(index, centers, radii, metric):
     from repro.engine.metrics import LoopRecorder
 
-    recorder = LoopRecorder("knn-loop", tree.io)
-    reads0 = tree.io.random_reads
+    recorder = LoopRecorder("distance-loop", index.io)
+    reads0 = _charged_reads(index.io)
+    results = []
+    for center, radius in zip(centers, radii):
+        recorder.start_query()
+        results.append(index.distance_range(center, float(radius), metric=metric))
+        recorder.end_query()
+    return results, recorder.finish(charged_reads=_charged_reads(index.io) - reads0)
+
+
+def _loop_knn(index, centers, k, metric):
+    from repro.engine.metrics import LoopRecorder
+
+    recorder = LoopRecorder("knn-loop", index.io)
+    reads0 = _charged_reads(index.io)
     results = []
     for center in centers:
         recorder.start_query()
-        results.append(tree.knn(center, k, metric=metric))
+        results.append(index.knn(center, k, metric=metric))
         recorder.end_query()
-    return results, recorder.finish(charged_reads=tree.io.random_reads - reads0)
+    return results, recorder.finish(charged_reads=_charged_reads(index.io) - reads0)
 
 
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    from repro.eval.harness import INDEX_KINDS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hybrid tree (ICDE 1999) reproduction toolkit",
@@ -473,6 +539,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench-batch", help="compare the batch engine against a single-query loop"
+    )
+    p.add_argument(
+        "--index",
+        choices=list(INDEX_KINDS),
+        default="hybrid",
+        help="which index structure to drive through the traversal kernel",
     )
     p.add_argument(
         "--dataset",

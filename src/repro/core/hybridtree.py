@@ -867,6 +867,40 @@ class HybridTree:
         return QuerySession(self, pin_levels=pin_levels, workers=workers, mode=mode)
 
     # ------------------------------------------------------------------
+    # Traversal-kernel protocol (repro.engine.kernel)
+    # ------------------------------------------------------------------
+    def trav_root(self):
+        return self.root_id, self.bounds
+
+    def trav_node(self, ref: int, charge: bool = True):
+        return self.nm.get(ref, charge=charge)
+
+    def trav_is_leaf(self, node) -> bool:
+        return isinstance(node, DataNode)
+
+    def trav_leaf_points(self, node):
+        return node.points(), node.live_oids()
+
+    def trav_children(self, node, region):
+        from repro.engine.kernel import RectBound
+
+        # The child's pruning bound is its ELS-quantized live-space box
+        # clipped to the derived region — the same rect the single-query
+        # paths test; the kd split tests are subsumed because the
+        # effective rect is contained in every region along the kd path.
+        return [
+            (
+                child_id,
+                child_region,
+                RectBound(self.els.effective_rect(child_id, child_region)),
+            )
+            for child_id, child_region in node.children_with_regions(region)
+        ]
+
+    def trav_degrade(self, exc: PageCorruptionError):
+        return self._degrade(exc)
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:

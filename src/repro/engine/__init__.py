@@ -1,12 +1,16 @@
-"""High-throughput batch query engine for the hybrid tree.
+"""High-throughput batch query engine for every index structure.
 
 One traversal serves many queries: nodes are fetched once per batch and
 tested against all still-alive queries with vectorized predicates, and
 :class:`QuerySession` pins the hot directory levels so a warm serving
 process stops re-paying for them.  Results are bit-identical to the
-single-query API; see :mod:`repro.engine.batch` for the contract and
+single-query API.  The traversal itself lives in the structure-agnostic
+:mod:`repro.engine.kernel` — any index implementing the small ``trav_*``
+protocol (the hybrid tree and all paged baselines do) runs on the same
+batch, parallel, and mmap machinery with the same accounting; see
+:mod:`repro.engine.batch` for the hybrid-tree entry points and
 :mod:`repro.engine.metrics` for the per-query latency / page-access
-accounting both execution paths share.
+accounting all execution paths share.
 """
 
 from repro.engine.batch import (
@@ -15,17 +19,29 @@ from repro.engine.batch import (
     knn_many,
     range_search_many,
 )
+from repro.engine.kernel import (
+    ChildBound,
+    RectBound,
+    kernel_distance_range_many,
+    kernel_knn_many,
+    kernel_range_search_many,
+)
 from repro.engine.metrics import BatchMetrics, LoopRecorder, ascii_histogram
 from repro.engine.parallel import WORKER_MODES, ParallelQueryEngine
 
 __all__ = [
     "BatchMetrics",
+    "ChildBound",
     "LoopRecorder",
     "ParallelQueryEngine",
     "QuerySession",
+    "RectBound",
     "WORKER_MODES",
     "ascii_histogram",
     "distance_range_many",
+    "kernel_distance_range_many",
+    "kernel_knn_many",
+    "kernel_range_search_many",
     "knn_many",
     "range_search_many",
 ]

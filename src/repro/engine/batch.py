@@ -4,7 +4,11 @@ The single-query methods in :class:`~repro.core.hybridtree.HybridTree`
 re-descend from the root for every query, re-charging the same directory
 pages each time.  For a serving workload of hundreds of queries that
 redundancy dominates: the upper levels are fetched once *per query* instead
-of once *per batch*.  This module executes a whole batch in one traversal:
+of once *per batch*.  This module executes a whole batch in one traversal
+(since the kernel refactor, through the structure-agnostic
+:mod:`repro.engine.kernel`, which the hybrid tree joins via its ``trav_*``
+protocol methods — these wrappers keep the historical hybrid-tree entry
+points and labels):
 
 - queries descend together as an *alive set* (a numpy index array);
 - each tree node is fetched from the :class:`NodeManager` once per batch —
@@ -31,18 +35,17 @@ cold per-query numbers.
 
 from __future__ import annotations
 
-import heapq
-import time
 from collections.abc import Sequence
 
-import numpy as np
-
-from repro.core.kdnodes import KDLeaf, KDNode
-from repro.core.nodes import DataNode, IndexNode
-from repro.distances import L2, Metric, mindist_rect_many
-from repro.engine.metrics import BatchMetrics
+from repro.core.nodes import IndexNode
+from repro.distances import L2, Metric
+from repro.engine.kernel import (
+    _as_query_matrix,  # noqa: F401  (re-export: parallel.py imports it here)
+    kernel_distance_range_many,
+    kernel_knn_many,
+    kernel_range_search_many,
+)
 from repro.geometry.rect import Rect
-from repro.storage.errors import PageCorruptionError
 
 __all__ = [
     "range_search_many",
@@ -50,34 +53,6 @@ __all__ = [
     "knn_many",
     "QuerySession",
 ]
-
-
-def _as_query_matrix(centers, dims: int) -> np.ndarray:
-    """Canonicalise a batch of query points exactly like
-    ``HybridTree._check_vector`` does per point (float32 precision)."""
-    qs = np.asarray(centers, dtype=np.float32).astype(np.float64)
-    if qs.ndim == 1:
-        qs = qs[None, :]
-    if qs.ndim != 2 or qs.shape[1] != dims:
-        raise ValueError(
-            f"expected (n, {dims}) query points, got shape {qs.shape}"
-        )
-    if not np.all(np.isfinite(qs)):
-        raise ValueError("query vectors must be finite")
-    return qs
-
-
-def _finish(results, visits, tree, start, reads0, return_metrics, label):
-    if not return_metrics:
-        return results
-    wall = time.perf_counter() - start
-    metrics = BatchMetrics.from_batch_run(
-        label=label,
-        node_visits=visits,
-        charged_reads=tree.io.random_reads - reads0,
-        wall_seconds=wall,
-    )
-    return results, metrics
 
 
 # ----------------------------------------------------------------------
@@ -92,59 +67,7 @@ def range_search_many(
     ``[tree.range_search(q) for q in queries]``); with
     ``return_metrics=True`` also a :class:`BatchMetrics`.
     """
-    start = time.perf_counter()
-    reads0 = tree.io.random_reads
-    n = len(queries)
-    if n == 0:
-        return _finish([], np.empty(0), tree, start, reads0, return_metrics, "range-batch")
-    for q in queries:
-        if q.dims != tree.dims:
-            raise ValueError("query dimensionality mismatch")
-    lows = np.stack([q.low for q in queries])
-    highs = np.stack([q.high for q in queries])
-    results: list[list[np.ndarray]] = [[] for _ in range(n)]
-    visits = np.zeros(n, dtype=np.int64)
-
-    def visit(node_id: int, region: Rect, alive: np.ndarray) -> None:
-        node = tree.nm.get(node_id)
-        visits[alive] += 1
-        if isinstance(node, DataNode):
-            if node.count:
-                inside = Rect.boxes_contain_points_mask(
-                    lows[alive], highs[alive], node.points()
-                )
-                oids = node.live_oids()
-                for row, qi in zip(inside, alive):
-                    if row.any():
-                        results[qi].append(oids[row])
-            return
-        walk(node.kd_root, region, alive)
-
-    def walk(kd: KDNode, region: Rect, alive: np.ndarray) -> None:
-        if isinstance(kd, KDLeaf):
-            live = tree.els.effective_rect(kd.child_id, region)
-            sub = alive[live.intersects_boxes_mask(lows[alive], highs[alive])]
-            if sub.size:
-                visit(kd.child_id, region, sub)
-            return
-        left = alive[lows[alive, kd.dim] <= kd.lsp]
-        if left.size:
-            walk(kd.left, region.clip_below(kd.dim, kd.lsp), left)
-        right = alive[highs[alive, kd.dim] >= kd.rsp]
-        if right.size:
-            walk(kd.right, region.clip_above(kd.dim, kd.rsp), right)
-
-    try:
-        visit(tree.root_id, tree.bounds, np.arange(n))
-    except PageCorruptionError as exc:
-        # Same policy as the single-query path: ``on_corruption="scan"``
-        # answers the whole batch from one sequential scan.
-        vectors, oids = tree._degrade(exc)
-        inside = Rect.boxes_contain_points_mask(lows, highs, vectors)
-        out = [[int(o) for o in oids[row]] for row in inside]
-    else:
-        out = [[int(o) for arr in per_query for o in arr] for per_query in results]
-    return _finish(out, visits, tree, start, reads0, return_metrics, "range-batch")
+    return kernel_range_search_many(tree, queries, return_metrics, "range-batch")
 
 
 # ----------------------------------------------------------------------
@@ -162,68 +85,9 @@ def distance_range_many(
     ``radii`` may be a scalar or one radius per query.  Bit-identical to
     looping ``tree.distance_range``.
     """
-    start = time.perf_counter()
-    reads0 = tree.io.random_reads
-    qs = _as_query_matrix(centers, tree.dims)
-    n = qs.shape[0]
-    radii = np.broadcast_to(np.asarray(radii, dtype=np.float64), (n,))
-    if np.any(radii < 0):
-        raise ValueError("radius must be non-negative")
-    out: list[list[tuple[int, float]]] = [[] for _ in range(n)]
-    visits = np.zeros(n, dtype=np.int64)
-
-    def visit(node_id: int, region: Rect, alive: np.ndarray) -> None:
-        node = tree.nm.get(node_id)
-        visits[alive] += 1
-        if isinstance(node, DataNode):
-            if node.count:
-                points64 = node.points().astype(np.float64)
-                oids = node.live_oids()
-                for qi in alive:
-                    dists = metric.distance_batch(points64, qs[qi])
-                    for i in np.flatnonzero(dists <= radii[qi]):
-                        out[qi].append((int(oids[i]), float(dists[i])))
-            return
-        walk(node.kd_root, region, alive)
-
-    def walk(kd: KDNode, region: Rect, alive: np.ndarray) -> None:
-        if isinstance(kd, KDLeaf):
-            live = tree.els.effective_rect(kd.child_id, region)
-            bounds = mindist_rect_many(metric, qs[alive], live.low, live.high)
-            sub = alive[bounds <= radii[alive]]
-            if sub.size:
-                visit(kd.child_id, region, sub)
-            return
-        left_region = region.clip_below(kd.dim, kd.lsp)
-        bounds = mindist_rect_many(
-            metric, qs[alive], left_region.low, left_region.high
-        )
-        left = alive[bounds <= radii[alive]]
-        if left.size:
-            walk(kd.left, left_region, left)
-        right_region = region.clip_above(kd.dim, kd.rsp)
-        bounds = mindist_rect_many(
-            metric, qs[alive], right_region.low, right_region.high
-        )
-        right = alive[bounds <= radii[alive]]
-        if right.size:
-            walk(kd.right, right_region, right)
-
-    try:
-        visit(tree.root_id, tree.bounds, np.arange(n))
-    except PageCorruptionError as exc:
-        vectors, oids = tree._degrade(exc)
-        points64 = vectors.astype(np.float64)
-        out = []
-        for qi in range(n):
-            dists = metric.distance_batch(points64, qs[qi])
-            out.append(
-                [
-                    (int(oids[i]), float(dists[i]))
-                    for i in np.flatnonzero(dists <= radii[qi])
-                ]
-            )
-    return _finish(out, visits, tree, start, reads0, return_metrics, "distance-batch")
+    return kernel_distance_range_many(
+        tree, centers, radii, metric, return_metrics, "distance-batch"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -245,74 +109,9 @@ def knn_many(
     so for ``approximation_factor == 0`` the result is exactly what
     ``tree.knn`` returns for every query.
     """
-    start = time.perf_counter()
-    reads0 = tree.io.random_reads
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    if approximation_factor < 0:
-        raise ValueError("approximation_factor must be >= 0")
-    qs = _as_query_matrix(centers, tree.dims)
-    n = qs.shape[0]
-    shrink = 1.0 / (1.0 + approximation_factor)
-    # One max-heap of the best k per query, keyed (-distance, -oid) as in
-    # the single-query path; kth[i] caches query i's current kth distance.
-    heaps: list[list[tuple[float, int]]] = [[] for _ in range(n)]
-    kth = np.full(n, np.inf)
-    visits = np.zeros(n, dtype=np.int64)
-
-    def visit(node_id: int, region: Rect, alive: np.ndarray) -> None:
-        node = tree.nm.get(node_id)
-        visits[alive] += 1
-        if isinstance(node, DataNode):
-            if not node.count:
-                return
-            points64 = node.points().astype(np.float64)
-            oids = node.live_oids()
-            for qi in alive:
-                dists = metric.distance_batch(points64, qs[qi])
-                best = heaps[qi]
-                for i, dist in enumerate(dists):
-                    dist = float(dist)
-                    oid = int(oids[i])
-                    if len(best) < k:
-                        heapq.heappush(best, (-dist, -oid))
-                    elif (dist, oid) < (-best[0][0], -best[0][1]):
-                        heapq.heapreplace(best, (-dist, -oid))
-                if len(best) >= k:
-                    kth[qi] = -best[0][0]
-            return
-        scored = []
-        for child_id, child_region in node.children_with_regions(region):
-            live = tree.els.effective_rect(child_id, child_region)
-            bounds = mindist_rect_many(metric, qs[alive], live.low, live.high)
-            scored.append((float(bounds.min()), child_id, child_region, bounds))
-        scored.sort(key=lambda entry: entry[0])
-        for _, child_id, child_region, bounds in scored:
-            # Re-filter against the *current* kth: earlier siblings may have
-            # tightened it since the bounds were computed.
-            sub = alive[bounds <= kth[alive] * shrink]
-            if sub.size:
-                visit(child_id, child_region, sub)
-
-    try:
-        visit(tree.root_id, tree.bounds, np.arange(n))
-    except PageCorruptionError as exc:
-        vectors, oids = tree._degrade(exc)
-        points64 = vectors.astype(np.float64)
-        out = []
-        for qi in range(n):
-            dists = metric.distance_batch(points64, qs[qi])
-            order = np.lexsort((oids, dists))[:k]
-            out.append([(int(oids[i]), float(dists[i])) for i in order])
-    else:
-        out = [
-            sorted(
-                ((-neg_oid, -neg_dist) for neg_dist, neg_oid in best),
-                key=lambda t: (t[1], t[0]),
-            )
-            for best in heaps
-        ]
-    return _finish(out, visits, tree, start, reads0, return_metrics, "knn-batch")
+    return kernel_knn_many(
+        tree, centers, k, metric, approximation_factor, return_metrics, "knn-batch"
+    )
 
 
 # ----------------------------------------------------------------------

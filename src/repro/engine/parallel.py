@@ -1,24 +1,38 @@
-"""Multi-worker parallel execution of batch queries over a saved tree.
+"""Multi-worker parallel execution of batch queries over any index.
 
-The shared-traversal engine (:mod:`repro.engine.batch`) already amortises
+The shared-traversal kernel (:mod:`repro.engine.kernel`) already amortises
 page fetches across a batch; this module parallelises across *workers*.  A
 query batch is split into ``workers`` contiguous partitions
-(``np.array_split`` order), each worker runs the ordinary batch engine over
-its partition against its **own** read handle on the saved tree file, and
-the partition outputs are concatenated back — so the merged result list is
-positionally identical to the serial call.
+(``np.array_split`` order), each worker runs the index's own batch methods
+(``range_search_many`` / ``distance_range_many`` / ``knn_many``) over its
+partition against its **own** read handle, and the partition outputs are
+concatenated back — so the merged result list is positionally identical to
+the serial call.
 
 Worker isolation is what makes this safe without locks: nothing in the
-query path is shared between workers except the immutable saved file.
+query path is shared between workers except immutable data.
 
-- ``mode="thread"``: each worker thread holds a private
-  :meth:`HybridTree.open` handle (private node cache, private
-  :class:`IOStats`).  Python threads interleave under the GIL, but the
-  numpy predicate kernels release it, so scans overlap on multicore hosts.
-- ``mode="fork"`` / ``"spawn"``: worker *processes*, each reopening the
-  tree in its initializer.  With ``mmap=True`` (the default) every worker
-  maps the same file, so the OS page cache holds **one** copy of the data
-  no matter how many workers run — resident memory does not multiply.
+The ``source`` can be either of:
+
+- a **saved hybrid-tree file** (``str`` / ``PathLike``): every worker opens
+  its own :meth:`HybridTree.open` handle;
+- a **live index object** (the hybrid tree or any baseline exposing the
+  batch-query API): every worker gets a shallow *query view* of the index —
+  same pages, same object cache, but a private :class:`IOStats` so the
+  per-worker charges can be merged honestly.  Views never write, so
+  thread-mode sharing is safe; process modes are rejected for live indexes
+  because a view cannot be shipped to another process without copying the
+  whole structure.
+
+- ``mode="thread"``: each worker thread holds a private handle/view
+  (private :class:`IOStats`).  Python threads interleave under the GIL, but
+  the numpy predicate kernels release it, so scans overlap on multicore
+  hosts.
+- ``mode="fork"`` / ``"spawn"`` (saved-file sources only): worker
+  *processes*, each reopening the tree in its initializer.  With
+  ``mmap=True`` (the default) every worker maps the same file, so the OS
+  page cache holds **one** copy of the data no matter how many workers run
+  — resident memory does not multiply.
 
 Determinism contract (tested in ``tests/test_mmap_parallel.py``):
 
@@ -44,6 +58,7 @@ exactly as the serial engine attributes its own wall time.
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
 import os
 import time
@@ -52,12 +67,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.distances import L2, Metric
-from repro.engine.batch import (
-    _as_query_matrix,
-    distance_range_many,
-    knn_many,
-    range_search_many,
-)
+from repro.engine.batch import _as_query_matrix
 from repro.engine.metrics import BatchMetrics
 from repro.storage.iostats import IOStats
 
@@ -82,8 +92,30 @@ def _worker_init(path: str, mmap: bool) -> None:
     _WORKER_TREE = _open_worker_tree(path, mmap)
 
 
+def _index_view(index):
+    """A read-only query view of a live index for one worker thread.
+
+    Shallow copy sharing the pages and object cache, but with a private
+    accountant (`IOStats`) so each worker's charges merge cleanly.  Paged
+    structures route all I/O through ``index.nm`` (and expose ``io`` as a
+    property of it); scan structures (seqscan, VA-file) hold ``io``
+    directly.
+    """
+    view = copy.copy(index)
+    nm = getattr(index, "nm", None)
+    if nm is not None:
+        nm_view = copy.copy(nm)
+        nm_view.stats = IOStats()
+        nm_view._dirty = set()
+        nm_view._pinned = set()
+        view.nm = nm_view
+    else:
+        view.io = IOStats()
+    return view
+
+
 def _run_partition(tree, kind: str, payload: dict):
-    """Run one partition through the serial batch engine on ``tree``.
+    """Run one partition through ``tree``'s own batch-query methods.
 
     Returns ``(results, visits, charged_reads, io_delta)`` — everything the
     parent needs to merge, all picklable for the process modes.
@@ -96,14 +128,13 @@ def _run_partition(tree, kind: str, payload: dict):
         io.sequential_writes,
     )
     if kind == "range":
-        results, metrics = range_search_many(tree, payload["queries"], True)
+        results, metrics = tree.range_search_many(payload["queries"], True)
     elif kind == "distance":
-        results, metrics = distance_range_many(
-            tree, payload["centers"], payload["radii"], payload["metric"], True
+        results, metrics = tree.distance_range_many(
+            payload["centers"], payload["radii"], payload["metric"], True
         )
     elif kind == "knn":
-        results, metrics = knn_many(
-            tree,
+        results, metrics = tree.knn_many(
             payload["centers"],
             payload["k"],
             payload["metric"],
@@ -128,24 +159,27 @@ def _worker_task(task):
 
 
 class ParallelQueryEngine:
-    """Partition query batches across ``workers`` read handles on a saved tree.
+    """Partition query batches across ``workers`` read handles on an index.
 
     Parameters
     ----------
-    path:
-        A tree file produced by :meth:`HybridTree.save`.  Every worker
-        opens its own handle, so the engine needs the file, not a live
-        tree object (``QuerySession(workers=...)`` wires one up from
-        ``tree.source_path``).
+    source:
+        Either a tree file produced by :meth:`HybridTree.save` (every
+        worker opens its own handle; ``QuerySession(workers=...)`` wires
+        one up from ``tree.source_path``), or a **live index object** —
+        the hybrid tree or any baseline exposing the batch-query API —
+        in which case every worker queries a read-only view of it
+        (thread mode only).
     workers:
         Number of partitions / concurrent handles (>= 1).
     mode:
         ``"thread"`` (default), ``"fork"`` or ``"spawn"`` — see the module
-        docstring.  ``"fork"`` is unavailable on platforms without it.
+        docstring.  ``"fork"`` is unavailable on platforms without it;
+        only ``"thread"`` works with a live index source.
     mmap:
         Reopen handles with ``HybridTree.open(mmap=True)`` (zero-copy
         reads, one shared OS page-cache copy).  Default True; the file
-        pays one fsck per handle at open.
+        pays one fsck per handle at open.  Ignored for live sources.
     stats:
         Merged accountant; every worker's I/O delta is added to it after
         each call, so ``engine.io`` totals match what the workers charged.
@@ -153,39 +187,52 @@ class ParallelQueryEngine:
 
     def __init__(
         self,
-        path: str | os.PathLike,
+        source,
         workers: int = 2,
         mode: str = "thread",
         mmap: bool = True,
         stats: IOStats | None = None,
     ):
-        from repro.storage import superblock as superblock_io
-
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if mode not in WORKER_MODES:
             raise ValueError(f"mode must be one of {WORKER_MODES}")
         if mode != "thread" and mode not in multiprocessing.get_all_start_methods():
             raise ValueError(f"start method {mode!r} unavailable on this platform")
-        self.path = os.fspath(path)
         self.workers = workers
         self.mode = mode
         self.mmap = mmap
         self.io = stats if stats is not None else IOStats()
-        manifest, _ = superblock_io.read_superblock(self.path)
-        self.dims = int(manifest["dims"])
         self._trees = []
+        if isinstance(source, (str, os.PathLike)):
+            from repro.storage import superblock as superblock_io
+
+            self.path = os.fspath(source)
+            self._owns_trees = True
+            manifest, _ = superblock_io.read_superblock(self.path)
+            self.dims = int(manifest["dims"])
+            if mode == "thread":
+                self._trees = [
+                    _open_worker_tree(self.path, mmap) for _ in range(workers)
+                ]
+            else:
+                ctx = multiprocessing.get_context(mode)
+                self._pool = ctx.Pool(
+                    workers, initializer=_worker_init, initargs=(self.path, mmap)
+                )
+        else:
+            if mode != "thread":
+                raise ValueError(
+                    "a live index can only be parallelised with mode='thread'; "
+                    "process workers need a saved tree file to reopen"
+                )
+            self.path = None
+            self._owns_trees = False
+            self.dims = int(source.dims)
+            self._trees = [_index_view(source) for _ in range(workers)]
         if mode == "thread":
-            self._trees = [
-                _open_worker_tree(self.path, mmap) for _ in range(workers)
-            ]
             self._pool = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-query"
-            )
-        else:
-            ctx = multiprocessing.get_context(mode)
-            self._pool = ctx.Pool(
-                workers, initializer=_worker_init, initargs=(self.path, mmap)
             )
 
     # ------------------------------------------------------------------
@@ -311,8 +358,10 @@ class ParallelQueryEngine:
     def close(self) -> None:
         if self.mode == "thread":
             self._pool.shutdown(wait=True)
-            for tree in self._trees:
-                tree.close()
+            if self._owns_trees:
+                # Live-index views share the source's store: never close it.
+                for tree in self._trees:
+                    tree.close()
             self._trees = []
         else:
             self._pool.close()

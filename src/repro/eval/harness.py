@@ -240,7 +240,7 @@ def run_workload_batched(
 
 
 def run_workload_parallel(
-    tree_path,
+    source,
     data: np.ndarray,
     workload: QueryWorkload,
     workers: int = 2,
@@ -251,24 +251,34 @@ def run_workload_parallel(
 ):
     """Execute the workload through a multi-worker parallel engine.
 
-    ``tree_path`` is a saved hybrid tree file (``HybridTree.save``); each
-    worker reopens it (zero-copy mmap handles by default) and runs its
-    partition through the shared-traversal batch engine — results are
-    bit-identical to :func:`run_workload_batched` on the reopened tree.
+    ``source`` is either a saved hybrid tree file (``HybridTree.save``) —
+    each worker reopens it (zero-copy mmap handles by default) — or a live
+    index object (hybrid tree or baseline), which thread workers query
+    through read-only views.  Either way each partition runs through the
+    index's batch methods, so results are bit-identical to
+    :func:`run_workload_batched` on the same index.
     ``avg_disk_accesses`` sums every worker's charged reads, so it grows
     with worker count (each worker re-reads the directory for itself)
     while wall-clock CPU shrinks on multicore hosts.  Returns
     ``(ExperimentResult, BatchMetrics)`` like :func:`run_workload_batched`.
     """
+    import os
+
     from repro.engine.parallel import ParallelQueryEngine
 
-    kind = kind or f"hybrid[{workers}x{mode}]"
+    if not kind:
+        base = (
+            "hybrid"
+            if isinstance(source, (str, os.PathLike))
+            else type(source).__name__.lower()
+        )
+        kind = f"{base}[{workers}x{mode}]"
     scan_pages = sequential_scan_pages(data.shape[0], data.shape[1])
     if scan_cpu_seconds is None:
         scan_cpu_seconds = _scan_cpu_per_query(data, workload)
 
     with ParallelQueryEngine(
-        tree_path, workers=workers, mode=mode, mmap=mmap
+        source, workers=workers, mode=mode, mmap=mmap
     ) as engine:
         engine.io.checkpoint()
         start = time.perf_counter()
