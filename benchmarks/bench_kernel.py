@@ -23,7 +23,7 @@ import json
 import os
 import time
 
-from conftest import RESULTS_DIR, scaled
+from conftest import RESULTS_DIR, host_metadata, scaled
 
 from repro.baselines.common import LoopQueryMixin
 from repro.datasets import clustered_dataset, range_workload
@@ -126,7 +126,7 @@ def test_kernel_speedups(run_once, report):
 
     batch_rows, parallel_rows = run_once(experiment)
     payload = {
-        "cpu_count": os.cpu_count(),
+        "host": host_metadata(),
         "batch_vs_loop": batch_rows,
         "parallel_thread_views": parallel_rows,
     }

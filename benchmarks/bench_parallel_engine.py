@@ -25,7 +25,7 @@ import json
 import os
 import time
 
-from conftest import RESULTS_DIR, scaled
+from conftest import RESULTS_DIR, host_metadata, scaled
 
 from repro.core import HybridTree
 from repro.datasets import colhist_dataset, range_workload
@@ -115,7 +115,7 @@ def test_parallel_engine(run_once, report, tmp_path):
 
     rows, decode = run_once(experiment)
     payload = {
-        "cpu_count": os.cpu_count(),
+        "host": host_metadata(),
         "decode": decode,
         "throughput": rows,
     }

@@ -20,6 +20,28 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def host_metadata() -> dict:
+    """Host facts stamped into every ``BENCH_*.json`` artifact.
+
+    Wall-time comparisons only mean something relative to the box that
+    produced them (the ROADMAP's "1-core CI runner" caveat) — so the box
+    describes itself in the artifact instead of in tribal knowledge.
+    """
+    import datetime
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "repro_scale": float(os.environ.get("REPRO_SCALE", "1.0")),
+    }
+
+
 def scaled(value: int, minimum: int = 4) -> int:
     """Apply the global REPRO_SCALE multiplier to a size parameter."""
     scale = float(os.environ.get("REPRO_SCALE", "1.0"))

@@ -155,19 +155,27 @@ class KernelQueryMixin(LoopQueryMixin):
     same accounting; the single-query methods are the kernel at batch size
     one.  The ``*_loop`` methods from :class:`LoopQueryMixin` remain
     available as the measured per-query baseline.
+
+    When a struct-of-arrays snapshot is attached (:meth:`compile_snapshot`)
+    the batch methods run on the vectorized SOA kernel instead — results
+    are bit-identical either way.  Mutations must call
+    :meth:`invalidate_snapshot`; queries then fall back to the object walk
+    until the structure is re-compiled.
     """
 
     def range_search_many(self, queries, return_metrics: bool = False):
-        from repro.engine.kernel import kernel_range_search_many
+        from repro.engine.soa import dispatch_range_search_many
 
-        return kernel_range_search_many(self, queries, return_metrics)
+        return dispatch_range_search_many(self, queries, return_metrics)
 
     def distance_range_many(
         self, centers, radii, metric: Metric = L2, return_metrics: bool = False
     ):
-        from repro.engine.kernel import kernel_distance_range_many
+        from repro.engine.soa import dispatch_distance_range_many
 
-        return kernel_distance_range_many(self, centers, radii, metric, return_metrics)
+        return dispatch_distance_range_many(
+            self, centers, radii, metric, return_metrics
+        )
 
     def knn_many(
         self,
@@ -177,11 +185,34 @@ class KernelQueryMixin(LoopQueryMixin):
         approximation_factor: float = 0.0,
         return_metrics: bool = False,
     ):
-        from repro.engine.kernel import kernel_knn_many
+        from repro.engine.soa import dispatch_knn_many
 
-        return kernel_knn_many(
+        return dispatch_knn_many(
             self, centers, k, metric, approximation_factor, return_metrics
         )
+
+    # -- struct-of-arrays snapshot lifecycle ---------------------------
+    @property
+    def soa_snapshot(self):
+        """The attached SOA snapshot, or None."""
+        return getattr(self, "_soa_snapshot", None)
+
+    def compile_snapshot(self, force: bool = False):
+        """Compile (and attach) a struct-of-arrays snapshot of this index.
+
+        Cached until :meth:`invalidate_snapshot`; ``force=True``
+        recompiles unconditionally."""
+        from repro.engine.soa import compile_snapshot
+
+        snap = getattr(self, "_soa_snapshot", None)
+        if snap is None or force:
+            snap = compile_snapshot(self)
+            self._soa_snapshot = snap
+        return snap
+
+    def invalidate_snapshot(self) -> None:
+        """Drop the attached snapshot (call after any mutation)."""
+        self._soa_snapshot = None
 
     def range_search(self, query: Rect) -> list[int]:
         return self.range_search_many([query])[0]

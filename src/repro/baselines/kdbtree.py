@@ -99,6 +99,7 @@ class KDBTree(KernelQueryMixin):
     # Insertion
     # ------------------------------------------------------------------
     def insert(self, vector: np.ndarray, oid: int) -> None:
+        self.invalidate_snapshot()
         v = check_vector(vector, self.dims)
         if not self.bounds.contains_point(v):
             self.bounds = self.bounds.merge_point(v)

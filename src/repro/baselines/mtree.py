@@ -165,6 +165,7 @@ class MTree(KernelQueryMixin):
     # Insertion
     # ------------------------------------------------------------------
     def insert(self, vector: np.ndarray, oid: int) -> None:
+        self.invalidate_snapshot()
         v = check_vector(vector, self.dims)
         path: list[tuple[int, MIndexNode, int]] = []
         node_id = self._root_id
@@ -316,13 +317,9 @@ class MTree(KernelQueryMixin):
     def distance_range_many(
         self, centers, radii, metric: Metric | None = None, return_metrics: bool = False
     ):
-        from repro.engine.kernel import kernel_distance_range_many
-
         if metric is not None:
             self._check_metric(metric)
-        return kernel_distance_range_many(
-            self, centers, radii, self.metric, return_metrics
-        )
+        return super().distance_range_many(centers, radii, self.metric, return_metrics)
 
     def knn_many(
         self,
@@ -332,12 +329,10 @@ class MTree(KernelQueryMixin):
         approximation_factor: float = 0.0,
         return_metrics: bool = False,
     ):
-        from repro.engine.kernel import kernel_knn_many
-
         if metric is not None:
             self._check_metric(metric)
-        return kernel_knn_many(
-            self, centers, k, self.metric, approximation_factor, return_metrics
+        return super().knn_many(
+            centers, k, self.metric, approximation_factor, return_metrics
         )
 
     def trav_check_metric(self, metric: Metric) -> None:

@@ -108,6 +108,7 @@ class RTree(KernelQueryMixin):
     # Insertion (Guttman's ChooseLeaf / AdjustTree / quadratic SplitNode)
     # ------------------------------------------------------------------
     def insert(self, vector: np.ndarray, oid: int) -> None:
+        self.invalidate_snapshot()
         v = check_vector(vector, self.dims)
         path: list[tuple[int, RIndexNode, int]] = []  # (node_id, node, entry idx)
         node_id = self._root_id
@@ -216,6 +217,7 @@ class RTree(KernelQueryMixin):
     # Deletion (FindLeaf / CondenseTree)
     # ------------------------------------------------------------------
     def delete(self, vector: np.ndarray, oid: int) -> bool:
+        self.invalidate_snapshot()
         v = check_vector(vector, self.dims)
         target = np.asarray(v, dtype=np.float32)
         found = self._find_leaf(self._root_id, self.bounds_of_root(), v, target, oid, [])

@@ -90,6 +90,11 @@ class XTree(RTree):
     def supernode_count(self) -> int:
         return sum(1 for pages in self.nm.page_counts.values() if pages > 1)
 
+    def trav_node_pages(self, ref: int) -> int:
+        # Supernodes occupy (and charge) several pages per visit; the SOA
+        # kernel uses this to reproduce the object walk's accounting.
+        return self.nm.page_counts.get(ref, 1)
+
     @staticmethod
     def _group_rects(entries, group) -> Rect:
         return Rect.merge_all([entries[i][1] for i in group])

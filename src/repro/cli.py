@@ -252,11 +252,16 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
     data = makers[args.dataset](args.count, args.dims, seed=args.seed)
     index = build_index(args.index, data, build="bulk")
     metric = _metric(args.metric)
+    use_soa = args.engine == "soa"
+    if use_soa and not hasattr(index, "compile_snapshot"):
+        raise SystemExit(
+            f"--engine soa: {args.index} does not support snapshot compilation"
+        )
     shape = f"height {index.height}, " if hasattr(index, "height") else ""
     print(
         f"{args.dataset}/{args.index}: {len(index):,} x {args.dims}-d points, "
         f"{shape}{index.pages():,} pages; "
-        f"{args.queries} queries per mode",
+        f"{args.queries} queries per mode, {args.engine} batch engine",
         file=sys.stderr,
     )
 
@@ -264,10 +269,17 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
     reports = []
 
     def compare(label, run_loop, run_batch):
+        # The loop side always walks the live objects; the batch side runs
+        # the requested engine (a compiled snapshot routes the *_many calls
+        # through the vectorized SOA kernel, and is invalidated here so the
+        # loop side can never accidentally benefit from it).
+        index.invalidate_snapshot()
         index.io.reset()
         start = time.perf_counter()
         loop_results, loop_metrics = run_loop()
         loop_wall = time.perf_counter() - start
+        if use_soa:
+            index.compile_snapshot()
         index.io.reset()
         start = time.perf_counter()
         batch_results, batch_metrics = run_batch()
@@ -557,6 +569,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--selectivity", type=float, default=0.002)
     p.add_argument("--k", type=int, default=10)
     p.add_argument("--metric", default="l2", help="l1 | l2 | linf | <p>")
+    p.add_argument(
+        "--engine",
+        choices=["object", "soa"],
+        default="object",
+        help="batch engine: walk live node objects, or compile the index "
+        "to a struct-of-arrays snapshot and run the vectorized kernel",
+    )
     p.add_argument("--pin-levels", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(

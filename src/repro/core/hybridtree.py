@@ -24,6 +24,7 @@ import io
 import itertools
 import os
 import struct
+import zlib
 
 import numpy as np
 
@@ -216,6 +217,7 @@ class HybridTree:
             self._split_data_node(path, node_id, node, v, oid)
         self._count += 1
         self.modified_since_save = True
+        self.invalidate_snapshot()
 
     def _containment_descent(
         self, node_id: int, region: Rect, v: np.ndarray
@@ -431,6 +433,7 @@ class HybridTree:
         self.nm.put(node_id, node)
         self._count -= 1
         self.modified_since_save = True
+        self.invalidate_snapshot()
         min_entries = max(1, int(np.floor(self.min_fill * self.data_capacity)))
         if node.count >= min_entries or not path:
             if node.count > 0:
@@ -856,6 +859,31 @@ class HybridTree:
 
         return knn_many(self, centers, k, metric, approximation_factor, return_metrics)
 
+    # -- struct-of-arrays snapshot lifecycle ---------------------------
+    @property
+    def soa_snapshot(self):
+        """The attached SOA snapshot, or None (see :mod:`repro.engine.soa`)."""
+        return getattr(self, "_soa_snapshot", None)
+
+    def compile_snapshot(self, force: bool = False):
+        """Compile (and attach) a struct-of-arrays snapshot of this tree.
+
+        While attached, the batch query methods run on the vectorized SOA
+        kernel (bit-identical results); ``save()`` persists it as a
+        checksummed section and ``open()`` re-attaches it.  Cached until
+        :meth:`invalidate_snapshot`; ``force=True`` recompiles."""
+        from repro.engine.soa import compile_snapshot
+
+        snap = getattr(self, "_soa_snapshot", None)
+        if snap is None or force:
+            snap = compile_snapshot(self)
+            self._soa_snapshot = snap
+        return snap
+
+    def invalidate_snapshot(self) -> None:
+        """Drop the attached snapshot (every mutation calls this)."""
+        self._soa_snapshot = None
+
     def session(self, pin_levels: int = 2, workers: int = 1, mode: str = "thread"):
         """Open a :class:`repro.engine.QuerySession` pinning the hot upper
         ``pin_levels`` directory levels (each page charged once).  With
@@ -955,6 +983,34 @@ class HybridTree:
             # recompute from reachability so the persisted free list is
             # correct even if in-memory free-list state drifted.
             free_ids = [pid for pid in range(page_count) if pid not in seen]
+            # Compiled SOA snapshot, if attached: written as *raw* whole
+            # pages right after the node region (no per-page frames — the
+            # section is one contiguous byte range so the mmap path can
+            # np.frombuffer it zero-copy), guarded by a section CRC32 in
+            # the manifest.  fsck knows the section via manifest["soa"];
+            # everything else skips pages past the node region.
+            soa_loc = None
+            snap = getattr(self, "_soa_snapshot", None)
+            if snap is not None and snap.array_only:
+                from repro.engine.soa import (
+                    SNAPSHOT_SECTION_VERSION,
+                    serialize_snapshot,
+                )
+
+                payload = serialize_snapshot(snap)
+                page_size = self.layout.page_size
+                soa_start = store._next_id
+                for off in range(0, len(payload), page_size):
+                    pid = store._next_id
+                    store.ensure_allocated(pid)
+                    store.write(pid, payload[off : off + page_size], charge=False)
+                soa_loc = {
+                    "start": soa_start,
+                    "pages": store._next_id - soa_start,
+                    "bytes": len(payload),
+                    "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+                    "version": SNAPSHOT_SECTION_VERSION,
+                }
             manifest = {
                 "format": superblock_io.SUPERBLOCK_FORMAT,
                 "generation": generation,
@@ -973,6 +1029,8 @@ class HybridTree:
                     [crc_by_id.get(pid, 0) for pid in range(page_count)]
                 ),
             }
+            if soa_loc is not None:
+                manifest["soa"] = soa_loc
             superblock_io.append_tail(
                 store, manifest, {"els": self._els_blob(free_ids)}
             )
@@ -1115,7 +1173,43 @@ class HybridTree:
         tree._root_id = int(manifest["root_id"])
         tree._height = int(manifest["height"])
         tree._count = int(manifest["count"])
+        tree._attach_saved_snapshot(manifest, page_size, store if mmap else None)
         return tree
+
+    def _attach_saved_snapshot(
+        self, manifest: dict, page_size: int, mmap_store
+    ) -> None:
+        """Re-attach the persisted SOA snapshot, if the file carries one.
+
+        Zero-copy over the store's mapping on the mmap path, a single read
+        otherwise.  Any integrity problem (CRC mismatch, truncation,
+        unparseable section) *degrades* — the tree opens fine and queries
+        run on the object-walk kernel; the reason is kept in
+        ``_soa_load_error`` and ``repro fsck`` reports it.
+        """
+        self._soa_load_error: str | None = None
+        loc = manifest.get("soa")
+        if loc is None:
+            return
+        from repro.engine.soa import deserialize_snapshot
+        from repro.engine.soa.persist import SnapshotFormatError
+
+        try:
+            start = int(loc["start"]) * page_size
+            nbytes = int(loc["bytes"])
+            if mmap_store is not None:
+                section = mmap_store._view[start : start + nbytes]
+            else:
+                with open(self.source_path, "rb") as f:
+                    f.seek(start)
+                    section = f.read(nbytes)
+            if len(section) != nbytes:
+                raise SnapshotFormatError("snapshot section truncated")
+            if zlib.crc32(section) & 0xFFFFFFFF != int(loc["crc32"]):
+                raise SnapshotFormatError("snapshot section CRC mismatch")
+            self._soa_snapshot = deserialize_snapshot(section)
+        except (SnapshotFormatError, KeyError, ValueError, OSError) as exc:
+            self._soa_load_error = str(exc)
 
     def close(self) -> None:
         """Release the backing store (file handle / mmap), if it has one.

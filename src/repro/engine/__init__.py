@@ -28,6 +28,14 @@ from repro.engine.kernel import (
 )
 from repro.engine.metrics import BatchMetrics, LoopRecorder, ascii_histogram
 from repro.engine.parallel import WORKER_MODES, ParallelQueryEngine
+from repro.engine.soa import (
+    SOASnapshot,
+    active_snapshot,
+    compile_snapshot,
+    soa_distance_range_many,
+    soa_knn_many,
+    soa_range_search_many,
+)
 
 __all__ = [
     "BatchMetrics",
@@ -36,12 +44,18 @@ __all__ = [
     "ParallelQueryEngine",
     "QuerySession",
     "RectBound",
+    "SOASnapshot",
     "WORKER_MODES",
+    "active_snapshot",
     "ascii_histogram",
+    "compile_snapshot",
     "distance_range_many",
     "kernel_distance_range_many",
     "kernel_knn_many",
     "kernel_range_search_many",
     "knn_many",
     "range_search_many",
+    "soa_distance_range_many",
+    "soa_knn_many",
+    "soa_range_search_many",
 ]

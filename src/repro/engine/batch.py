@@ -41,9 +41,11 @@ from repro.core.nodes import IndexNode
 from repro.distances import L2, Metric
 from repro.engine.kernel import (
     _as_query_matrix,  # noqa: F401  (re-export: parallel.py imports it here)
-    kernel_distance_range_many,
-    kernel_knn_many,
-    kernel_range_search_many,
+)
+from repro.engine.soa.kernel import (
+    dispatch_distance_range_many,
+    dispatch_knn_many,
+    dispatch_range_search_many,
 )
 from repro.geometry.rect import Rect
 
@@ -65,9 +67,12 @@ def range_search_many(
 
     Returns one oid list per query (bit-identical to
     ``[tree.range_search(q) for q in queries]``); with
-    ``return_metrics=True`` also a :class:`BatchMetrics`.
+    ``return_metrics=True`` also a :class:`BatchMetrics`.  Runs on the
+    vectorized SOA kernel when the tree has a compiled snapshot attached
+    (:mod:`repro.engine.soa`), on the object-walk kernel otherwise —
+    results are identical either way.
     """
-    return kernel_range_search_many(tree, queries, return_metrics, "range-batch")
+    return dispatch_range_search_many(tree, queries, return_metrics, "range-batch")
 
 
 # ----------------------------------------------------------------------
@@ -85,7 +90,7 @@ def distance_range_many(
     ``radii`` may be a scalar or one radius per query.  Bit-identical to
     looping ``tree.distance_range``.
     """
-    return kernel_distance_range_many(
+    return dispatch_distance_range_many(
         tree, centers, radii, metric, return_metrics, "distance-batch"
     )
 
@@ -109,7 +114,7 @@ def knn_many(
     so for ``approximation_factor == 0`` the result is exactly what
     ``tree.knn`` returns for every query.
     """
-    return kernel_knn_many(
+    return dispatch_knn_many(
         tree, centers, k, metric, approximation_factor, return_metrics, "knn-batch"
     )
 

@@ -1,0 +1,340 @@
+"""Compile a ``trav_*`` index into a flat struct-of-arrays snapshot.
+
+:func:`compile_snapshot` performs one DFS pre-order walk over the traversal
+protocol (:mod:`repro.engine.kernel`) and emits a :class:`SOASnapshot`:
+
+- **node arrays**, one row per *occurrence* in the walk (for dedup
+  structures like the hB-tree a shared page yields one row per kd-path
+  posting, all carrying the same ``node_ref``);
+- **CSR child offsets**: the edges of occurrence ``i`` are rows
+  ``child_start[i] : child_start[i + 1]`` of the edge arrays, in the
+  structure's canonical ``trav_children`` order;
+- **per-edge bound rows** packed by geometry kind (rectangles for the
+  hybrid/R/X/kd-B trees, path-rect + region pairs for the hB-tree,
+  center + radius for the sphere-bounded SS/SR/M-trees);
+- **concatenated leaf data**: all live leaf vectors in one ``float32``
+  array and their oids beside it, each leaf occurrence holding a slice
+  ``leaf_start[i] : leaf_end[i]`` (occurrences of the same page share one
+  slice).
+
+Occurrence ids are DFS pre-order ranks, so sorting leaf hits by occurrence
+id reproduces the object-walk kernel's output order exactly — that is what
+lets the vectorized kernel return bit-identical results without actually
+recursing.
+
+For the sphere-bounded structures the snapshot *also* keeps the original
+:class:`~repro.engine.kernel.ChildBound` objects (``edge_bounds``): their
+scalar sphere tests reduce a 1-d vector through BLAS ``dot``
+(``np.linalg.norm``), whose summation order differs from an axis
+reduction, so the kernel evaluates those bounds through the original
+objects — grouped per edge — to stay bitwise identical to the object walk.
+The packed center/radius arrays are still emitted for tooling and future
+vectorized-lower-bound work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SOASnapshot", "active_snapshot", "compile_snapshot"]
+
+#: Geometry kinds a snapshot's edges can carry.
+BOUND_KINDS = ("rect", "rect2", "sphere", "rect_sphere", "router")
+
+#: Kinds whose pruning predicates are pure array math over the packed
+#: arrays — these snapshots can be persisted and reloaded without the
+#: original index objects.  The sphere kinds need ``edge_bounds``.
+ARRAY_ONLY_KINDS = ("rect", "rect2")
+
+
+@dataclass
+class SOASnapshot:
+    """A compiled index: the directory and leaf data as contiguous arrays."""
+
+    kind: str
+    dims: int
+    dedup: bool
+    supports_box: bool
+    # Node arrays (one row per DFS pre-order occurrence).
+    node_ref: np.ndarray  # int64 (N,)   original page id (charging, dedup)
+    node_is_leaf: np.ndarray  # bool (N,)
+    node_pages: np.ndarray  # int32 (N,)  pages charged per visit (supernodes > 1)
+    child_start: np.ndarray  # int64 (N+1,) CSR offsets into the edge arrays
+    leaf_start: np.ndarray  # int64 (N,)  slice into points/oids (0:0 if internal)
+    leaf_end: np.ndarray  # int64 (N,)
+    # Edge arrays (one row per child edge).
+    edge_child: np.ndarray  # int64 (E,)  target occurrence id
+    box_low: np.ndarray | None = None  # float64 (E, d)  rect / path-rect lows
+    box_high: np.ndarray | None = None  # float64 (E, d)
+    dist_low: np.ndarray | None = None  # float64 (E, d)  rect2: region for mindist
+    dist_high: np.ndarray | None = None  # float64 (E, d)
+    center: np.ndarray | None = None  # float64 (E, d)  sphere / router centers
+    radius: np.ndarray | None = None  # float64 (E,)
+    # Concatenated leaf data.
+    points: np.ndarray = field(default_factory=lambda: np.empty((0, 0), np.float32))
+    oids: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    # Original ChildBound objects, required by the sphere kinds (see module
+    # docstring); never persisted.
+    edge_bounds: list | None = None
+    # Derived, built once per snapshot: the float64 copy every distance
+    # scan uses (the object kernel's per-leaf ``pts.astype(np.float64)``).
+    points64: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in BOUND_KINDS:
+            raise ValueError(f"unknown bound kind {self.kind!r}")
+        self.points64 = self.points.astype(np.float64)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_ref)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edge_child)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.oids)
+
+    @property
+    def array_only(self) -> bool:
+        """True when the kernel needs no ``edge_bounds`` objects — the
+        precondition for persisting the snapshot."""
+        return self.kind in ARRAY_ONLY_KINDS
+
+    def leaf_sort0(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-leaf sort of the points by dimension 0, built lazily.
+
+        Returns ``(perm, scol)``: for every leaf slice ``[s, e)``,
+        ``perm[s:e]`` holds the global point rows of that leaf ordered by
+        their first coordinate and ``scol[s:e]`` the coordinates in that
+        order (float64, the exact upcast the comparisons run in).  The
+        kernel turns a query's dim-0 window into a rank interval with two
+        binary searches instead of comparing every point.
+        """
+        cached = getattr(self, "_leaf_sort0", None)
+        if cached is not None:
+            return cached
+        perm = np.arange(self.n_points, dtype=np.int64)
+        scol = (
+            np.ascontiguousarray(self.points64[:, 0])
+            if self.points.shape[1]
+            else np.empty(0)
+        )
+        ls = self.leaf_start[self.node_is_leaf]
+        le = self.leaf_end[self.node_is_leaf]
+        # Occurrences sharing a ref share the slice, so each distinct
+        # start is sorted once.
+        starts, first = np.unique(ls, return_index=True)
+        for s, e in zip(starts, le[first]):
+            seg = slice(int(s), int(e))
+            order = np.argsort(self.points[seg, 0], kind="stable")
+            perm[seg] = int(s) + order
+            scol[seg] = scol[seg][order]
+        self._leaf_sort0 = (perm, scol)
+        return self._leaf_sort0
+
+    def boxes32(self) -> tuple[np.ndarray, np.ndarray]:
+        """Conservative float32 copies of the edge boxes, built lazily.
+
+        Lows round down, highs round up, so a float32 intersection test
+        never rejects a pair the exact float64 test accepts — the cheap
+        prefilter in front of the exact check.
+        """
+        cached = getattr(self, "_boxes32", None)
+        if cached is not None:
+            return cached
+        lo = self.box_low.astype(np.float32)
+        rounded_up = lo.astype(np.float64) > self.box_low
+        lo = np.where(rounded_up, np.nextafter(lo, np.float32(-np.inf)), lo)
+        hi = self.box_high.astype(np.float32)
+        rounded_down = hi.astype(np.float64) < self.box_high
+        hi = np.where(rounded_down, np.nextafter(hi, np.float32(np.inf)), hi)
+        self._boxes32 = (lo, hi)
+        return self._boxes32
+
+
+def active_snapshot(index) -> SOASnapshot | None:
+    """The snapshot attached to ``index``, or None (absent / invalidated)."""
+    return getattr(index, "_soa_snapshot", None)
+
+
+def _classify_bound(bound) -> str:
+    from repro.engine.kernel import RectBound
+
+    if isinstance(bound, RectBound):
+        return "rect"
+    if hasattr(bound, "path_rect") and hasattr(bound, "region"):
+        return "rect2"
+    if hasattr(bound, "sphere"):
+        return "sphere"
+    entry = getattr(bound, "entry", None)
+    if entry is not None and hasattr(entry, "router"):
+        return "router"
+    if entry is not None and hasattr(entry, "sphere") and hasattr(entry, "rect"):
+        return "rect_sphere"
+    raise TypeError(
+        f"cannot compile {type(bound).__name__} into a struct-of-arrays "
+        "snapshot: unknown bound geometry"
+    )
+
+
+def compile_snapshot(index) -> SOASnapshot:
+    """Walk ``index`` through the ``trav_*`` protocol and pack it flat.
+
+    The walk is iterative (no recursion limit), charges no I/O
+    (``trav_node(ref, charge=False)``, like every maintenance traversal),
+    and leaves the index untouched.  Raises ``TypeError`` for indexes that
+    do not implement the traversal protocol (VA-file, sequential scan).
+    """
+    if not hasattr(index, "trav_root"):
+        raise TypeError(
+            f"{type(index).__name__} does not implement the trav_* protocol; "
+            "only traversable indexes can be compiled"
+        )
+    dims = index.dims
+    dedup = bool(getattr(index, "trav_dedup", False))
+    supports_box = bool(getattr(index, "trav_supports_box", True))
+    pages_of = getattr(index, "trav_node_pages", None)
+
+    node_ref: list[int] = []
+    node_is_leaf: list[bool] = []
+    node_pages: list[int] = []
+    child_start: list[int] = [0]
+    leaf_start: list[int] = []
+    leaf_end: list[int] = []
+    edge_child: list[int] = []
+    edge_bounds: list = []
+    kind: str | None = None
+
+    # Leaf slices are shared between occurrences of the same page.
+    leaf_slices: dict[int, tuple[int, int]] = {}
+    vec_parts: list[np.ndarray] = []
+    oid_parts: list[np.ndarray] = []
+    n_pts = 0
+
+    root_ref, root_ctx = index.trav_root()
+    # Stack entries: (ref, ctx, edge index to patch with this node's id).
+    stack: list[tuple] = [(root_ref, root_ctx, None)]
+    while stack:
+        ref, ctx, patch = stack.pop()
+        nid = len(node_ref)
+        if patch is not None:
+            edge_child[patch] = nid
+        node = index.trav_node(ref, charge=False)
+        node_ref.append(ref)
+        node_pages.append(int(pages_of(ref)) if pages_of is not None else 1)
+        if index.trav_is_leaf(node):
+            node_is_leaf.append(True)
+            slc = leaf_slices.get(ref)
+            if slc is None:
+                pts, oids = index.trav_leaf_points(node)
+                if len(pts):
+                    # Copy: leaf views may alias a node cache or an mmap.
+                    vec_parts.append(np.array(pts, dtype=np.float32, copy=True))
+                    oid_parts.append(np.array(oids, dtype=np.int64, copy=True))
+                slc = (n_pts, n_pts + len(pts))
+                n_pts += len(pts)
+                leaf_slices[ref] = slc
+            leaf_start.append(slc[0])
+            leaf_end.append(slc[1])
+            child_start.append(len(edge_child))
+            continue
+        node_is_leaf.append(False)
+        leaf_start.append(0)
+        leaf_end.append(0)
+        children = index.trav_children(node, ctx)
+        first_edge = len(edge_child)
+        for _child_ref, _child_ctx, bound in children:
+            bkind = _classify_bound(bound)
+            if kind is None:
+                kind = bkind
+            elif kind != bkind:
+                raise TypeError(
+                    f"mixed bound kinds in one index: {kind} vs {bkind}"
+                )
+            edge_child.append(-1)
+            edge_bounds.append(bound)
+        child_start.append(len(edge_child))
+        # Push in reverse so pops happen in trav_children order (DFS
+        # pre-order, the object kernel's visit order).
+        for offset in range(len(children) - 1, -1, -1):
+            child_ref, child_ctx, _bound = children[offset]
+            stack.append((child_ref, child_ctx, first_edge + offset))
+
+    if kind is None:
+        kind = "rect"  # a single-leaf tree has no edges; any kind fits
+
+    box_low = box_high = dist_low = dist_high = center = radius = None
+    n_edges = len(edge_child)
+    if kind == "rect":
+        box_low = np.empty((n_edges, dims))
+        box_high = np.empty((n_edges, dims))
+        for i, bound in enumerate(edge_bounds):
+            box_low[i] = bound.rect.low
+            box_high[i] = bound.rect.high
+    elif kind == "rect2":
+        box_low = np.empty((n_edges, dims))
+        box_high = np.empty((n_edges, dims))
+        dist_low = np.empty((n_edges, dims))
+        dist_high = np.empty((n_edges, dims))
+        for i, bound in enumerate(edge_bounds):
+            box_low[i] = bound.path_rect.low
+            box_high[i] = bound.path_rect.high
+            dist_low[i] = bound.region.low
+            dist_high[i] = bound.region.high
+    else:
+        center = np.empty((n_edges, dims))
+        radius = np.empty(n_edges)
+        for i, bound in enumerate(edge_bounds):
+            if kind == "sphere":
+                sphere = bound.sphere
+            elif kind == "rect_sphere":
+                sphere = bound.entry.sphere
+            else:  # router
+                sphere = None
+            if sphere is not None:
+                center[i] = sphere.center
+                radius[i] = sphere.radius
+            else:
+                center[i] = bound.entry.router
+                radius[i] = bound.entry.radius
+        if kind == "rect_sphere":
+            box_low = np.empty((n_edges, dims))
+            box_high = np.empty((n_edges, dims))
+            for i, bound in enumerate(edge_bounds):
+                box_low[i] = bound.entry.rect.low
+                box_high[i] = bound.entry.rect.high
+
+    if vec_parts:
+        points = np.concatenate(vec_parts, axis=0)
+        oids = np.concatenate(oid_parts)
+    else:
+        points = np.empty((0, dims), dtype=np.float32)
+        oids = np.empty(0, dtype=np.int64)
+
+    return SOASnapshot(
+        kind=kind,
+        dims=dims,
+        dedup=dedup,
+        supports_box=supports_box,
+        node_ref=np.asarray(node_ref, dtype=np.int64),
+        node_is_leaf=np.asarray(node_is_leaf, dtype=bool),
+        node_pages=np.asarray(node_pages, dtype=np.int32),
+        child_start=np.asarray(child_start, dtype=np.int64),
+        leaf_start=np.asarray(leaf_start, dtype=np.int64),
+        leaf_end=np.asarray(leaf_end, dtype=np.int64),
+        edge_child=np.asarray(edge_child, dtype=np.int64),
+        box_low=box_low,
+        box_high=box_high,
+        dist_low=dist_low,
+        dist_high=dist_high,
+        center=center,
+        radius=radius,
+        points=points,
+        oids=oids,
+        edge_bounds=edge_bounds if kind not in ARRAY_ONLY_KINDS else None,
+    )

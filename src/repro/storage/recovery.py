@@ -68,6 +68,12 @@ class FsckReport:
     free_pages: int = 0
     corrupt_pages: list[int] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    # Problems confined to the optional SOA snapshot section.  Kept out of
+    # ``errors`` deliberately: a corrupt snapshot only degrades queries to
+    # the object-walk kernel (open() drops it), it does not make the tree
+    # itself unsafe to open — so ``ok`` stays True.
+    snapshot_errors: list[str] = field(default_factory=list)
+    has_snapshot: bool = False
 
     @property
     def ok(self) -> bool:
@@ -84,8 +90,16 @@ class FsckReport:
                 f"  root={self.root_id} objects={self.count} "
                 f"reachable={self.reachable_pages} free={self.free_pages}"
             )
+        if self.has_snapshot:
+            lines.append(
+                "  soa snapshot: "
+                + ("CORRUPT (queries degrade to the object-walk kernel)"
+                   if self.snapshot_errors else "clean")
+            )
         for err in self.errors:
             lines.append(f"  error: {err}")
+        for err in self.snapshot_errors:
+            lines.append(f"  snapshot: {err}")
         return "\n".join(lines)
 
 
@@ -102,6 +116,7 @@ class SalvageReport:
     expected_objects: int | None = None
     out_path: str | None = None
     tree: object | None = None
+    snapshot_dropped: bool = False
 
     def render(self) -> str:
         lines = [
@@ -109,6 +124,11 @@ class SalvageReport:
             f"from {self.data_pages_recovered} intact data pages "
             f"({self.pages_scanned} pages scanned)"
         ]
+        if self.snapshot_dropped:
+            lines.append(
+                "  soa snapshot section dropped (recompile with "
+                "compile_snapshot() and re-save)"
+            )
         if self.expected_objects is not None:
             lost = self.expected_objects - self.objects_recovered
             lines.append(
@@ -207,7 +227,48 @@ def verify(path: str | os.PathLike) -> FsckReport:
         ]
         if checksum_of_checksums(crcs) != expected_cc and not report.errors:
             report.errors.append("checksum-of-checksums mismatch")
+
+    _verify_snapshot_section(path, manifest, page_size, report)
     return report
+
+
+def _verify_snapshot_section(
+    path: str, manifest: dict, page_size: int, report: FsckReport
+) -> None:
+    """Audit the optional SOA snapshot section (raw pages after the node
+    region): CRC32 over the whole section, then a structural parse.
+    Findings go into ``report.snapshot_errors`` (see the field's note)."""
+    import zlib
+
+    loc = manifest.get("soa")
+    if loc is None:
+        return
+    report.has_snapshot = True
+    try:
+        start = int(loc["start"]) * page_size
+        nbytes = int(loc["bytes"])
+        expected_crc = int(loc["crc32"])
+    except (KeyError, TypeError, ValueError) as exc:
+        report.snapshot_errors.append(f"malformed manifest entry: {exc}")
+        return
+    with open(path, "rb") as f:
+        f.seek(start)
+        section = f.read(nbytes)
+    if len(section) != nbytes:
+        report.snapshot_errors.append(
+            f"section truncated: manifest says {nbytes} bytes, "
+            f"file holds {len(section)}"
+        )
+        return
+    if zlib.crc32(section) & 0xFFFFFFFF != expected_crc:
+        report.snapshot_errors.append("section CRC32 mismatch")
+        return
+    from repro.engine.soa.persist import SnapshotFormatError, deserialize_snapshot
+
+    try:
+        deserialize_snapshot(section)
+    except SnapshotFormatError as exc:
+        report.snapshot_errors.append(f"undeserializable: {exc}")
 
 
 def _walk(path: str, manifest: dict, page_size: int, report: FsckReport) -> set[int]:
@@ -360,6 +421,9 @@ def salvage(
         objects_recovered=len(tree),
         expected_objects=int(manifest["count"]) if "count" in manifest else None,
         tree=tree,
+        # The rebuilt tree carries no snapshot: a section in the damaged
+        # file (however intact) describes the *old* page layout.
+        snapshot_dropped="soa" in manifest,
     )
     if out_path is not None:
         tree.save(out_path)
