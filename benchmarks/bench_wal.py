@@ -1,0 +1,194 @@
+"""Extension — the write-ahead log: durability cost, group commit, snapshots.
+
+Four measurements over one saved tree:
+
+- **durability**: insert throughput on the plain copy-on-write session
+  (mutations in memory until ``save()``) vs the WAL session (every
+  mutation fsync-committed) — the honest price of crash durability per
+  transaction, plus the recovery-side cost of replaying that log on
+  reopen;
+- **group commit**: fsyncs-per-commit when 1/2/4/8 threads commit
+  concurrently against the raw :class:`WriteAheadLog` — coalescing onto
+  a flush leader is the mechanism that keeps the durability price from
+  scaling with writer concurrency;
+- **snapshot reads**: batch k-NN throughput on the live WAL tree vs a
+  pinned :meth:`snapshot_view` while a writer mutates between batches —
+  isolation should cost view construction, not query speed, and the
+  view's answers must stay bit-identical to its pin-time state;
+- **checkpoint**: wall time and log bytes folded when the WAL collapses
+  into a fresh superblock.
+
+Scale knob: ``REPRO_SCALE`` as in every other benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from conftest import RESULTS_DIR, host_metadata, scaled
+
+from repro.core import HybridTree
+from repro.datasets import range_workload, uniform_dataset
+from repro.eval.report import render_table
+from repro.storage import wal as wal_io
+
+K = 10
+
+
+def _insert_throughput(path: str, data, start_oid: int, wal: bool) -> float:
+    tree = HybridTree.open(path, wal=wal)
+    try:
+        start = time.perf_counter()
+        for i, vector in enumerate(data):
+            tree.insert(vector, start_oid + i)
+        wall = time.perf_counter() - start
+    finally:
+        tree.close()
+    return len(data) / wall
+
+
+def _group_commit(tmp_path, rounds: int) -> list[dict]:
+    rows = []
+    for threads in (1, 2, 4, 8):
+        log = wal_io.WriteAheadLog(
+            str(tmp_path / f"gc{threads}.wal"), 4096, 0
+        )
+        log.sync_count = 0
+        start = time.perf_counter()
+        for r in range(rounds):
+            for t in range(threads):
+                log.append_commit({"round": r, "thread": t})
+            barrier = threading.Barrier(threads)
+
+            def committer():
+                barrier.wait()
+                log.commit()
+
+            workers = [
+                threading.Thread(target=committer) for _ in range(threads)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+        wall = time.perf_counter() - start
+        rows.append(
+            {
+                "threads": threads,
+                "commits": log.commit_count,
+                "fsyncs": log.sync_count,
+                "syncs_per_commit": round(log.sync_count / log.commit_count, 3),
+                "commits_per_s": round(log.commit_count / wall, 1),
+            }
+        )
+        log.close()
+    return rows
+
+
+def test_wal(run_once, report, tmp_path):
+    def experiment():
+        dims = 8
+        data = uniform_dataset(scaled(8000), dims, seed=0)
+        base = str(tmp_path / "base.pages")
+        HybridTree.bulk_load(data).save(base)
+        extra = uniform_dataset(scaled(600, minimum=100), dims, seed=1)
+
+        # Durability: the same insert stream, volatile vs logged.
+        import shutil
+
+        volatile_path = str(tmp_path / "volatile.pages")
+        shutil.copyfile(base, volatile_path)
+        volatile_ips = _insert_throughput(volatile_path, extra, 10**6, wal=False)
+        durable_path = str(tmp_path / "durable.pages")
+        shutil.copyfile(base, durable_path)
+        durable_ips = _insert_throughput(durable_path, extra, 10**6, wal=True)
+        log_bytes = os.path.getsize(wal_io.wal_path_for(durable_path))
+        start = time.perf_counter()
+        replayed = HybridTree.open(durable_path)
+        replay_s = time.perf_counter() - start
+        transactions = replayed.wal_replayed_transactions
+        assert transactions == len(extra)
+        assert len(replayed) == scaled(8000) + len(extra)
+        replayed.close()
+        durability = {
+            "volatile_inserts_per_s": round(volatile_ips, 1),
+            "durable_inserts_per_s": round(durable_ips, 1),
+            "durability_cost_x": round(volatile_ips / durable_ips, 2),
+            "log_bytes_per_txn": log_bytes // max(transactions, 1),
+            "replay_s": round(replay_s, 3),
+            "replayed_txns": transactions,
+        }
+
+        group = _group_commit(tmp_path, rounds=scaled(60, minimum=10))
+
+        # Snapshot reads: live tree vs pinned view under interleaved writes.
+        tree = HybridTree.open(durable_path, wal=True)
+        workload = range_workload(data, scaled(400, minimum=50), 0.002, seed=2)
+        centers = workload.centers
+        tree.knn_many(centers[:4], K)  # warm the node cache
+        start = time.perf_counter()
+        live_results = tree.knn_many(centers, K)
+        live_wall = time.perf_counter() - start
+        view = tree.snapshot_view()
+        for i, vector in enumerate(extra[: scaled(100, minimum=20)]):
+            tree.insert(vector, 2 * 10**6 + i)  # writer moves on past the pin
+        view.knn_many(centers[:4], K)
+        start = time.perf_counter()
+        view_results = view.knn_many(centers, K)
+        view_wall = time.perf_counter() - start
+        identical = view_results == live_results
+        view.close()
+        snapshots = {
+            "live_qps": round(len(centers) / live_wall, 1),
+            "view_qps": round(len(centers) / view_wall, 1),
+            "view_overhead_x": round(view_wall / live_wall, 2),
+            "identical_to_pin_time": identical,
+        }
+
+        # Checkpoint: fold the whole log into a fresh superblock.
+        pre_bytes = tree.wal.size_bytes
+        start = time.perf_counter()
+        info = tree.checkpoint()
+        checkpoint_s = time.perf_counter() - start
+        tree.close()
+        checkpoint = {
+            "wall_s": round(checkpoint_s, 3),
+            "bytes_folded": pre_bytes,
+            "generation": info["generation"],
+        }
+        return durability, group, snapshots, checkpoint
+
+    durability, group, snapshots, checkpoint = run_once(experiment)
+    payload = {
+        "host": host_metadata(),
+        "durability": durability,
+        "group_commit": group,
+        "snapshots": snapshots,
+        "checkpoint": checkpoint,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_wal.json"), "w") as f:
+        json.dump(payload, f, indent=2)
+    report(
+        render_table(group, "group commit: fsync coalescing under concurrency")
+        + "\n\n"
+        + f"durability: {durability['volatile_inserts_per_s']} volatile vs "
+        f"{durability['durable_inserts_per_s']} durable inserts/s "
+        f"({durability['durability_cost_x']}x), replay of "
+        f"{durability['replayed_txns']} txns in {durability['replay_s']}s\n"
+        + f"snapshot view: {snapshots['view_qps']} qps vs live "
+        f"{snapshots['live_qps']} qps "
+        f"({snapshots['view_overhead_x']}x), bit-identical="
+        f"{snapshots['identical_to_pin_time']}\n"
+        + f"checkpoint: folded {checkpoint['bytes_folded']} log bytes in "
+        f"{checkpoint['wall_s']}s (generation {checkpoint['generation']})"
+    )
+
+    assert snapshots["identical_to_pin_time"], "snapshot drifted under writes"
+    multi = [row for row in group if row["threads"] > 1]
+    assert all(row["fsyncs"] < row["commits"] for row in multi), (
+        "group commit never coalesced: " + repr(multi)
+    )

@@ -165,6 +165,25 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.core.hybridtree import HybridTree
+    from repro.storage.wal import wal_path_for
+
+    tree = HybridTree.open(args.tree, wal=True)
+    try:
+        replayed = tree.wal_replayed_transactions
+        stats = tree.checkpoint()
+    finally:
+        tree.close()
+    print(
+        f"checkpoint {args.tree}: generation {stats['generation']}, "
+        f"{replayed} logged transaction(s) folded into the superblock "
+        f"({stats['wal_bytes_folded']} WAL bytes)"
+    )
+    print(f"  log reset: {wal_path_for(args.tree)}")
+    return 0
+
+
 def cmd_fsck(args: argparse.Namespace) -> int:
     from repro.storage.recovery import verify
 
@@ -529,6 +548,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="on a corrupt page: fail (raise) or degrade to a sequential scan",
     )
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="fold a tree's write-ahead log into a fresh superblock",
+    )
+    p.add_argument("--tree", required=True, help="saved page file (with .wal sidecar)")
+    p.set_defaults(fn=cmd_checkpoint)
 
     p = sub.add_parser("fsck", help="verify a saved tree file's integrity")
     p.add_argument("--tree", required=True, help="saved page file")

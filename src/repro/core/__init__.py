@@ -10,6 +10,7 @@ bulk loading (:mod:`~repro.core.bulkload`) and structural statistics
 
 from repro.core.els import ELSTable, quantize_live_rect
 from repro.core.hybridtree import HybridTree
+from repro.core.nodes import MAX_OID, OidRangeError
 from repro.core.splits import (
     POLICY_EDA,
     POLICY_RR,
@@ -26,6 +27,8 @@ from repro.core.stats import TreeStats, compute_stats
 __all__ = [
     "ELSTable",
     "HybridTree",
+    "MAX_OID",
+    "OidRangeError",
     "POLICY_EDA",
     "POLICY_RR",
     "POLICY_VAM",

@@ -76,19 +76,43 @@ class ELSTable:
         self.dims = dims
         self.bits = bits
         self._live: dict[int, Rect] = {}
+        self._track: set[int] | None = None
 
     @property
     def enabled(self) -> bool:
         return self.bits > 0
 
+    def begin_tracking(self) -> None:
+        """Record which node ids :meth:`set`/:meth:`merge_point`/:meth:`drop`
+        touch (the write-ahead log commits the delta, not the whole table)."""
+        self._track = set()
+
+    def end_tracking(self) -> dict[int, Rect | None]:
+        """Stop tracking; map of touched ids to their final live box
+        (``None`` for dropped entries)."""
+        touched = self._track or set()
+        self._track = None
+        return {node_id: self._live.get(node_id) for node_id in touched}
+
     def set(self, node_id: int, live: Rect) -> None:
+        if self._track is not None:
+            self._track.add(node_id)
         self._live[node_id] = live
 
     def get(self, node_id: int) -> Rect | None:
         return self._live.get(node_id)
 
     def drop(self, node_id: int) -> None:
+        if self._track is not None:
+            self._track.add(node_id)
         self._live.pop(node_id, None)
+
+    def copy(self) -> "ELSTable":
+        """An independent table with the same entries (``Rect`` values are
+        immutable once stored, so sharing them is safe)."""
+        dup = ELSTable(self.dims, self.bits)
+        dup._live = dict(self._live)
+        return dup
 
     def items(self) -> list[tuple[int, Rect]]:
         """Snapshot of ``(node_id, live box)`` pairs, sorted by node id.
@@ -99,6 +123,8 @@ class ELSTable:
 
     def merge_point(self, node_id: int, point: np.ndarray) -> None:
         """Grow a node's live box to absorb a newly inserted point."""
+        if self._track is not None:
+            self._track.add(node_id)
         live = self._live.get(node_id)
         self._live[node_id] = (
             live.merge_point(point)

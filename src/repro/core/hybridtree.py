@@ -22,8 +22,10 @@ from __future__ import annotations
 import heapq
 import io
 import itertools
+import operator
 import os
 import struct
+import threading
 import zlib
 
 import numpy as np
@@ -31,7 +33,7 @@ import numpy as np
 from repro.core import kdnodes
 from repro.core.els import ELSTable
 from repro.core.kdnodes import KDInternal, KDLeaf, KDNode
-from repro.core.nodes import DataNode, IndexNode
+from repro.core.nodes import MAX_OID, DataNode, IndexNode, OidRangeError
 from repro.core.splits import (
     POLICY_EDA,
     POLICY_RR,
@@ -43,7 +45,8 @@ from repro.core.splits import (
 from repro.distances import L2, Metric
 from repro.geometry.rect import Rect
 from repro.storage import superblock as superblock_io
-from repro.storage.errors import PageCorruptionError
+from repro.storage import wal as wal_io
+from repro.storage.errors import PageCorruptionError, ReadOnlyStoreError
 from repro.storage.iostats import AccessKind, IOStats
 from repro.storage.nodemanager import NodeManager
 from repro.storage.page import (
@@ -51,7 +54,13 @@ from repro.storage.page import (
     data_node_capacity,
     kdtree_node_capacity,
 )
-from repro.storage.pagestore import FilePageStore, OverlayPageStore, PageStore
+from repro.storage.pagestore import (
+    FilePageStore,
+    OverlayPageStore,
+    PageStore,
+    SnapshotPageStore,
+    VersionedOverlayStore,
+)
 
 ON_CORRUPTION_POLICIES = ("raise", "scan")
 
@@ -148,6 +157,18 @@ class HybridTree:
         self.nm.put(self._root_id, DataNode(dims, self.data_capacity), charge=False)
         self._height = 1
         self._count = 0
+        self._init_wal_state()
+
+    def _init_wal_state(self) -> None:
+        """Per-instance write-ahead-log state (no log attached yet)."""
+        self.generation = 0
+        self.wal: wal_io.WriteAheadLog | None = None
+        self.wal_replayed_transactions = 0
+        self._wal_depth = 0
+        self._commit_lock = threading.RLock()
+        self._carry_written: set[int] = set()
+        self._carry_freed: set[int] = set()
+        self._carry_els: dict[int, Rect | None] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -195,6 +216,16 @@ class HybridTree:
     def insert(self, vector: np.ndarray, oid: int) -> None:
         """Insert ``(vector, oid)``.  Duplicate vectors/oids are allowed."""
         v = self._check_vector(vector)
+        oid = self._check_oid(oid)
+        owns = self._wal_begin()
+        try:
+            self._insert_inner(v, oid)
+        except BaseException:
+            self._wal_abort(owns)
+            raise
+        self._wal_end(owns, "insert")
+
+    def _insert_inner(self, v: np.ndarray, oid: int) -> None:
         if not self.bounds.contains_point(v):
             self.bounds = self.bounds.merge_point(v)
 
@@ -266,6 +297,208 @@ class HybridTree:
         if not np.all(np.isfinite(v)):
             raise ValueError("vector must be finite")
         return v
+
+    def _check_oid(self, oid) -> int:
+        """Validate an object id fits the uint32 slot data pages store.
+
+        ``np.uint32(oid)`` would silently wrap out-of-range values (so a
+        lookup or delete by the original oid would miss forever); reject
+        them up front with a typed error instead.
+        """
+        try:
+            value = operator.index(oid)
+        except TypeError as exc:
+            raise OidRangeError(
+                f"oid must be an integer, got {type(oid).__name__}"
+            ) from exc
+        if not 0 <= value <= MAX_OID:
+            raise OidRangeError(
+                f"oid {value} is outside [0, {MAX_OID}], the uint32 range "
+                "data pages store"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Write-ahead logging (repro.storage.wal)
+    # ------------------------------------------------------------------
+    def _wal_begin(self) -> bool:
+        """Enter a mutation; returns True when this call owns the WAL
+        transaction (the outermost mutation — deletes reinsert through
+        :meth:`insert`, and those nested calls must not commit halfway)."""
+        if isinstance(self.nm.store, SnapshotPageStore):
+            raise ReadOnlyStoreError(
+                "snapshot views are read-only; mutate through the owning tree"
+            )
+        if self.wal is None:
+            return False
+        self._wal_depth += 1
+        if self._wal_depth > 1:
+            return False
+        self._commit_lock.acquire()
+        self.nm.begin_mutation_tracking()
+        self.els.begin_tracking()
+        return True
+
+    def _wal_abort(self, owns: bool) -> None:
+        """Unwind a mutation that raised.  Nothing is logged — the durable
+        state stays at the last commit — but the in-memory tree may be
+        half-mutated, so the touched page/ELS sets are carried over into
+        the next successful commit, which re-logs them and brings the log
+        back in line with memory."""
+        if self.wal is None:
+            return
+        self._wal_depth -= 1
+        if not owns:
+            return
+        try:
+            written, freed = self.nm.end_mutation_tracking()
+            self._carry_written |= written
+            self._carry_freed |= freed
+            self._carry_els.update(self.els.end_tracking())
+        finally:
+            self._commit_lock.release()
+
+    def _wal_end(self, owns: bool, kind: str) -> None:
+        """Commit the outermost mutation: log full images of every touched
+        live page, then the metadata delta, fsync (group commit), and only
+        then write the pages through to the overlay store — so concurrent
+        snapshot readers flip between committed states, never through the
+        middle of a transaction."""
+        if self.wal is None:
+            return
+        self._wal_depth -= 1
+        if not owns:
+            return
+        try:
+            written, freed = self.nm.end_mutation_tracking()
+            els_delta = self.els.end_tracking()
+            written |= self._carry_written
+            freed |= self._carry_freed
+            if self._carry_els:
+                merged = dict(self._carry_els)
+                merged.update(els_delta)
+                els_delta = merged
+            self._carry_written = set()
+            self._carry_freed = set()
+            self._carry_els = {}
+            if not written and not freed and not els_delta:
+                return  # a no-op mutation (e.g. delete of a missing entry)
+            store = self.nm.store
+            free_now = set(store.free_page_ids)
+            live = [pid for pid in sorted(written) if pid not in free_now]
+            images = {
+                pid: self.nm.codec.encode(self.nm.get(pid, charge=False))
+                for pid in live
+            }
+            for pid in live:
+                self.wal.append_page(pid, images[pid])
+            self.wal.append_commit(
+                {
+                    "kind": kind,
+                    "count": self._count,
+                    "root_id": self._root_id,
+                    "height": self._height,
+                    "bounds": [self.bounds.low.tolist(), self.bounds.high.tolist()],
+                    "els": {
+                        str(nid): (
+                            None
+                            if rect is None
+                            else [rect.low.tolist(), rect.high.tolist()]
+                        )
+                        for nid, rect in sorted(els_delta.items())
+                    },
+                    "free_ids": sorted(free_now),
+                    "next_id": store._next_id,
+                }
+            )
+            self.wal.commit()
+            # Write-through: the overlay now holds exactly the committed
+            # images (snapshot COW preserves the pre-write versions), and
+            # a later flush() will not redo the work.
+            for pid, image in images.items():
+                store.write(pid, image, charge=False)
+                self.nm._dirty.discard(pid)
+        finally:
+            self._commit_lock.release()
+
+    def snapshot_view(self) -> "HybridTree":
+        """A read-only tree serving this tree's current *committed* state.
+
+        Requires a WAL-enabled tree (``open(..., wal=True)``).  The view
+        pins a page-version snapshot on the underlying
+        :class:`VersionedOverlayStore`: a concurrent writer keeps
+        inserting/deleting while every query on the view answers from the
+        exact state at pin time, bit-identically.  The view carries its own
+        :class:`IOStats` and node cache; :meth:`close` releases the pin
+        (and the page versions it kept alive).
+        """
+        if self.wal is None or not isinstance(self.nm.store, VersionedOverlayStore):
+            raise ValueError(
+                "snapshot_view() requires a WAL-enabled tree (open(..., wal=True))"
+            )
+        from repro.storage.serialization import HybridNodeCodec
+
+        with self._commit_lock:  # pin only at a transaction boundary
+            store = SnapshotPageStore(self.nm.store)
+            view = type(self).__new__(type(self))
+            view.dims = self.dims
+            view.layout = self.layout
+            view.data_capacity = self.data_capacity
+            view.index_capacity = self.index_capacity
+            view.min_fill = self.min_fill
+            view.split_policy = self.split_policy
+            view.split_position = self.split_position
+            view.expected_query_side = self.expected_query_side
+            view.bounds = self.bounds
+            view.on_corruption = self.on_corruption
+            view.degraded_queries = 0
+            view.source_path = self.source_path
+            view.read_only = True
+            view.modified_since_save = False
+            view.nm = NodeManager(
+                store=store,
+                codec=HybridNodeCodec(
+                    self.dims, self.data_capacity, self.layout.page_size
+                ),
+                stats=store.stats,
+            )
+            view.els = self.els.copy()
+            view._root_id = self._root_id
+            view._height = self._height
+            view._count = self._count
+            view._soa_snapshot = None
+            view._soa_load_error = None
+            view._init_wal_state()
+            view.generation = self.generation
+        return view
+
+    def checkpoint(self) -> dict:
+        """Fold the write-ahead log into a fresh superblock.
+
+        Publishes the full tree state through :meth:`save`'s atomic
+        tmp+rename (generation + 1), then resets the log pinned to the new
+        generation.  Crash-safe at every point: before the rename the old
+        file + old log reproduce the committed state; after the rename a
+        not-yet-reset log has a stale generation and replay ignores it.
+        Returns checkpoint statistics.
+        """
+        if self.wal is None:
+            raise ValueError(
+                "checkpoint() requires a WAL-enabled tree (open(..., wal=True))"
+            )
+        if self.source_path is None:
+            raise ValueError("checkpoint() needs a source path; save() first")
+        with self._commit_lock:
+            folded_bytes = self.wal.size_bytes
+            commits = self.wal.commit_count
+            syncs = self.wal.sync_count
+            self.save(self.source_path)
+            return {
+                "generation": self.generation,
+                "wal_bytes_folded": folded_bytes,
+                "commit_count": commits,
+                "sync_count": syncs,
+            }
 
     def _choose_child(
         self, node: IndexNode, region: Rect, point: np.ndarray
@@ -425,6 +658,16 @@ class HybridTree:
         correct level (the R-tree CondenseTree policy).
         """
         v = self._check_vector(vector)
+        owns = self._wal_begin()
+        try:
+            removed = self._delete_inner(v, oid)
+        except BaseException:
+            self._wal_abort(owns)
+            raise
+        self._wal_end(owns, "delete")
+        return removed
+
+    def _delete_inner(self, v: np.ndarray, oid: int) -> bool:
         found = self._find_entry(v, oid)
         if found is None:
             return False
@@ -951,7 +1194,10 @@ class HybridTree:
         """
         from repro.storage.serialization import HybridNodeCodec
 
-        path = os.fspath(path)
+        with self._commit_lock:
+            self._save_locked(os.fspath(path), HybridNodeCodec)
+
+    def _save_locked(self, path: str, HybridNodeCodec) -> None:
         codec = HybridNodeCodec(self.dims, self.data_capacity, self.layout.page_size)
         tmp_pages = path + ".tmp"
         if os.path.exists(tmp_pages):
@@ -1039,6 +1285,13 @@ class HybridTree:
         self._fsync_dir(path)
         self.source_path = os.path.abspath(path)
         self.modified_since_save = False
+        self.generation = generation
+        if self.wal is not None:
+            # The published file now contains everything the log did: empty
+            # the log and re-pin it to the new generation (moving it when
+            # the tree was saved to a different path).  A crash before this
+            # line leaves a stale-generation log that replay ignores.
+            self.wal.reset(generation, wal_io.wal_path_for(path))
 
     def _els_blob(self, free_ids: list[int]) -> bytes:
         """Serialize the ELS table, free list and bounds into one npz blob."""
@@ -1089,6 +1342,7 @@ class HybridTree:
         buffer_pages: int | None = None,
         on_corruption: str = "raise",
         mmap: bool = False,
+        wal: bool = False,
     ) -> "HybridTree":
         """Reopen a saved tree; nodes fault in lazily from the page file.
 
@@ -1116,11 +1370,28 @@ class HybridTree:
         :class:`~repro.storage.errors.ReadOnlyStoreError`.  The integrity
         contract assumes the file is not modified in place while mapped —
         which ``save()`` never does (atomic rename).
+
+        **WAL replay** happens on *every* open: if a sidecar ``<path>.wal``
+        exists and is pinned to this file's generation, its complete
+        transactions are replayed into the (in-memory) overlay before the
+        tree is returned, so any opener — including parallel-engine
+        workers — sees the state as of the last durable commit.  Torn or
+        uncommitted log tails are discarded, giving old-or-new recovery at
+        transaction granularity.  ``wal=True`` additionally attaches a
+        :class:`~repro.storage.wal.WriteAheadLog` so subsequent mutations
+        are logged and group-committed, concurrent readers can pin
+        snapshots (:meth:`snapshot_view`), and :meth:`checkpoint` folds
+        the log back into the file; incompatible with ``mmap=True``.
         """
         from repro.storage.serialization import HybridNodeCodec
 
+        if wal and mmap:
+            raise ValueError("wal=True needs the writable open path (mmap=False)")
         path = os.fspath(path)
         manifest, page_size = superblock_io.read_superblock(path)
+        generation = int(manifest.get("generation", 0))
+        scan = wal_io.usable_scan(path, generation)
+        replay = scan is not None and scan.transactions > 0
         blob = np.load(
             io.BytesIO(superblock_io.read_blob(path, manifest, "els", page_size))
         )
@@ -1141,13 +1412,18 @@ class HybridTree:
         tree.source_path = os.path.abspath(path)
         tree.read_only = mmap
         tree.modified_since_save = False
+        mmap_store = None
         if mmap:
             from repro.storage.mmapstore import MmapPageStore
 
             # The whole-file audit happens here (verify="fsck"); the codec
             # below can then skip per-decode CRCs and hand out views.
-            store: PageStore = MmapPageStore(
-                path, page_size, stats=stats, verify="fsck"
+            mmap_store = MmapPageStore(path, page_size, stats=stats, verify="fsck")
+            # With committed WAL transactions to replay, the mapping alone
+            # is stale: wrap it in an in-memory overlay to hold the
+            # replayed pages (still strictly read-only from the outside).
+            store: PageStore = (
+                OverlayPageStore(mmap_store) if replay else mmap_store
             )
             codec = HybridNodeCodec(
                 tree.dims,
@@ -1157,9 +1433,8 @@ class HybridTree:
                 verify_checksums=False,
             )
         else:
-            store = OverlayPageStore(
-                FilePageStore(path, page_size, stats=stats, checksums=True)
-            )
+            base = FilePageStore(path, page_size, stats=stats, checksums=True)
+            store = VersionedOverlayStore(base) if wal else OverlayPageStore(base)
             codec = HybridNodeCodec(tree.dims, tree.data_capacity, page_size)
         store.set_allocator_state(
             int(manifest["page_count"]), [int(pid) for pid in blob["free_ids"]]
@@ -1173,8 +1448,58 @@ class HybridTree:
         tree._root_id = int(manifest["root_id"])
         tree._height = int(manifest["height"])
         tree._count = int(manifest["count"])
-        tree._attach_saved_snapshot(manifest, page_size, store if mmap else None)
+        tree._init_wal_state()
+        tree.generation = generation
+        if replay:
+            meta = wal_io.apply_scan(scan, store, page_size)
+            tree._apply_replay_meta(meta, store)
+            tree.wal_replayed_transactions = scan.transactions
+            # The persisted SOA snapshot predates the replayed mutations.
+            tree._soa_snapshot = None
+            tree._soa_load_error = (
+                f"stale after WAL replay of {scan.transactions} transaction(s)"
+                if manifest.get("soa") is not None
+                else None
+            )
+        else:
+            tree._attach_saved_snapshot(manifest, page_size, mmap_store)
+        if wal:
+            tree.wal = wal_io.WriteAheadLog(
+                wal_io.wal_path_for(path), page_size, generation
+            )
         return tree
+
+    def _apply_replay_meta(self, meta: dict, store: PageStore) -> None:
+        """Install the merged commit metadata :func:`repro.storage.wal.apply_scan`
+        returned: final count/root/height/bounds, the accumulated ELS delta,
+        and the allocator state after the last committed transaction."""
+        if "count" in meta:
+            self._count = int(meta["count"])
+        if "root_id" in meta:
+            self._root_id = int(meta["root_id"])
+        if "height" in meta:
+            self._height = int(meta["height"])
+        if "bounds" in meta:
+            low, high = meta["bounds"]
+            self.bounds = Rect(
+                np.asarray(low, dtype=np.float64), np.asarray(high, dtype=np.float64)
+            )
+        for key, val in meta.get("els", {}).items():
+            node_id = int(key)
+            if val is None:
+                self.els.drop(node_id)
+            else:
+                self.els.set(
+                    node_id,
+                    Rect(
+                        np.asarray(val[0], dtype=np.float64),
+                        np.asarray(val[1], dtype=np.float64),
+                    ),
+                )
+        if "next_id" in meta:
+            store.set_allocator_state(
+                int(meta["next_id"]), [int(p) for p in meta.get("free_ids", [])]
+            )
 
     def _attach_saved_snapshot(
         self, manifest: dict, page_size: int, mmap_store
@@ -1219,6 +1544,9 @@ class HybridTree:
         until they are garbage-collected (see
         :meth:`~repro.storage.mmapstore.MmapPageStore.close`).
         """
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
         close = getattr(self.nm.store, "close", None)
         if close is not None:
             close()

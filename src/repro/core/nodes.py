@@ -15,6 +15,20 @@ from repro.core.kdnodes import KDNode
 from repro.geometry.rect import Rect
 
 
+MAX_OID = 2**32 - 1
+"""Largest object id a data page can store (oids are packed as uint32)."""
+
+
+class OidRangeError(ValueError):
+    """An object id that cannot be stored losslessly in a data page.
+
+    Data nodes pack oids as uint32; ``numpy`` would silently wrap an
+    out-of-range value (``np.uint32(2**32) == 0``), corrupting lookups and
+    deletes much later.  The insert and bulk-load paths validate instead
+    and raise this typed error up front.
+    """
+
+
 class FrozenNodeError(RuntimeError):
     """A mutation reached a frozen (read-only) data node.
 

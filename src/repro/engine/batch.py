@@ -169,13 +169,25 @@ class QuerySession:
                     "workers > 1 requires a saved tree (save() or open() "
                     "first): worker handles reopen the tree from its file"
                 )
-            if tree.modified_since_save:
+            if tree.modified_since_save and getattr(tree, "wal", None) is None:
+                # WAL-enabled trees are exempt: every committed mutation is
+                # durable in the sidecar log, so workers can reconstruct
+                # the live tree's committed state without a save().
                 raise ValueError(
                     "tree has unsaved in-memory changes; save() before "
                     "opening a parallel session so workers see them"
                 )
+            if getattr(tree, "wal", None) is not None and mode == "thread":
+                # Thread workers on a WAL tree query pinned snapshot views
+                # of the live store — no file reopen, no log replay, and
+                # the snapshot stays consistent under concurrent writes.
+                source = tree
+            else:
+                # Process workers (or plain saved trees) reopen the file;
+                # a WAL tree's committed log is replayed on each open.
+                source = tree.source_path
             self._parallel = ParallelQueryEngine(
-                tree.source_path, workers=workers, mode=mode, stats=tree.io
+                source, workers=workers, mode=mode, stats=tree.io
             )
         self._pinned: list[int] = []
         frontier = [tree.root_id]

@@ -100,7 +100,15 @@ def _index_view(index):
     structures route all I/O through ``index.nm`` (and expose ``io`` as a
     property of it); scan structures (seqscan, VA-file) hold ``io``
     directly.
+
+    A WAL-enabled hybrid tree (``open(..., wal=True)``) gets a *pinned
+    snapshot view* instead (:meth:`HybridTree.snapshot_view`): the worker
+    keeps answering from the committed state at engine-construction time,
+    bit-identically, even while a writer thread mutates the source tree
+    underneath.  The engine owns these views and closes (unpins) them.
     """
+    if getattr(index, "wal", None) is not None and hasattr(index, "snapshot_view"):
+        return index.snapshot_view()
     view = copy.copy(index)
     nm = getattr(index, "nm", None)
     if nm is not None:
@@ -359,9 +367,19 @@ class ParallelQueryEngine:
         if self.mode == "thread":
             self._pool.shutdown(wait=True)
             if self._owns_trees:
-                # Live-index views share the source's store: never close it.
                 for tree in self._trees:
                     tree.close()
+            else:
+                # Live-index views share the source's store: never close
+                # it.  Pinned snapshot views are the exception — closing
+                # them releases the page versions the pin kept alive
+                # without touching the shared store.
+                from repro.storage.pagestore import SnapshotPageStore
+
+                for tree in self._trees:
+                    store = getattr(getattr(tree, "nm", None), "store", None)
+                    if isinstance(store, SnapshotPageStore):
+                        tree.close()
             self._trees = []
         else:
             self._pool.close()

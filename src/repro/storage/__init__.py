@@ -25,6 +25,8 @@ that makes those numbers meaningful in a pure-Python reproduction:
   record (blob pages + trailing superblock).
 - :mod:`repro.storage.recovery` -- fsck (:func:`verify`) and data-page
   salvage for saved tree files.
+- :mod:`repro.storage.wal` -- the write-ahead log: CRC-framed, LSN-stamped
+  mutation records with group-commit fsync, checkpointing, and replay.
 """
 
 from repro.storage.buffer import LRUBufferPool
@@ -58,7 +60,10 @@ from repro.storage.pagestore import (
     InMemoryPageStore,
     OverlayPageStore,
     PageStore,
+    SnapshotPageStore,
+    VersionedOverlayStore,
 )
+from repro.storage.wal import WriteAheadLog
 
 __all__ = [
     "AccessKind",
@@ -79,8 +84,11 @@ __all__ = [
     "PageStore",
     "ReadOnlyStoreError",
     "RecoveryError",
+    "SnapshotPageStore",
     "StorageError",
     "TransientStorageError",
+    "VersionedOverlayStore",
+    "WriteAheadLog",
     "data_node_capacity",
     "frame_page",
     "kdtree_node_capacity",

@@ -87,6 +87,8 @@ class NodeManager:
         self._cache: OrderedDict[int, Any] = OrderedDict()
         self._dirty: set[int] = set()
         self._pinned: set[int] = set()
+        self._track_written: set[int] | None = None
+        self._track_freed: set[int] | None = None
 
     # ------------------------------------------------------------------
     # Core protocol used by the index structures
@@ -127,8 +129,27 @@ class NodeManager:
         self._evict_if_needed()
         return node
 
+    def begin_mutation_tracking(self) -> None:
+        """Start recording which pages :meth:`put`/:meth:`free` touch.
+
+        The write-ahead-log path brackets every outermost tree mutation
+        with this so it knows exactly which page images to log at commit.
+        """
+        self._track_written = set()
+        self._track_freed = set()
+
+    def end_mutation_tracking(self) -> tuple[set[int], set[int]]:
+        """Stop tracking; returns ``(written_page_ids, freed_page_ids)``."""
+        written, freed = self._track_written, self._track_freed
+        self._track_written = None
+        self._track_freed = None
+        return (written or set(), freed or set())
+
     def put(self, page_id: int, node: Any, charge: bool = True) -> None:
         """Install/overwrite the node at ``page_id``, charging one page write."""
+        if self._track_written is not None:
+            self._track_written.add(page_id)
+            self._track_freed.discard(page_id)
         self._cache[page_id] = node
         if self.max_cached is not None:
             self._cache.move_to_end(page_id)
@@ -153,6 +174,9 @@ class NodeManager:
 
     def free(self, page_id: int) -> None:
         """Release a node's page."""
+        if self._track_freed is not None:
+            self._track_freed.add(page_id)
+            self._track_written.discard(page_id)
         self._cache.pop(page_id, None)
         self._dirty.discard(page_id)
         self._pinned.discard(page_id)

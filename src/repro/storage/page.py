@@ -179,15 +179,24 @@ class PageLayout:
         return self.page_size - self.header_size
 
 
+DATA_PAYLOAD_HEADER_SIZE = 5
+"""Bytes the serialized data-node payload spends before the entries
+(``u8 kind + u16 count + u16 dims``, see :mod:`repro.storage.serialization`).
+The capacity model must reserve them: an exactly-full data node is a legal,
+reachable state (inserts fill to capacity before splitting), and without
+this reservation its encoding exceeded the page by exactly these bytes."""
+
+
 def data_node_capacity(dims: int, layout: PageLayout | None = None) -> int:
     """Maximum number of (vector, oid) entries a data page can hold.
 
-    One entry costs ``dims * 4 + 4`` bytes.  Identical for every index
-    structure: data pages always store raw feature vectors.
+    One entry costs ``dims * 4 + 4`` bytes, after reserving the serialized
+    payload's own header (:data:`DATA_PAYLOAD_HEADER_SIZE`).  Identical for
+    every index structure: data pages always store raw feature vectors.
     """
     layout = layout or PageLayout()
     entry = dims * FLOAT_SIZE + OID_SIZE
-    capacity = layout.usable // entry
+    capacity = (layout.usable - DATA_PAYLOAD_HEADER_SIZE) // entry
     if capacity < 2:
         raise ValueError(
             f"page of {layout.page_size} bytes cannot hold 2 entries of {dims} dims"

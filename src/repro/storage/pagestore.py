@@ -17,10 +17,11 @@ the on-disk tree.
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
 
-from repro.storage.errors import PageCorruptionError
+from repro.storage.errors import PageCorruptionError, ReadOnlyStoreError
 from repro.storage.iostats import AccessKind, IOStats
 from repro.storage.page import DEFAULT_PAGE_SIZE, unframe_page
 
@@ -281,3 +282,128 @@ class OverlayPageStore(PageStore):
         close = getattr(self.base, "close", None)
         if close is not None:
             close()
+
+
+class VersionedOverlayStore(OverlayPageStore):
+    """Copy-on-write overlay with pinnable page-version snapshots.
+
+    The write-ahead-log path opens its tree over this store: committed
+    pages land in the overlay exactly like :class:`OverlayPageStore`, but a
+    reader may first :meth:`pin_snapshot` — from then on, every overwrite
+    of a page preserves that page's *pre-write* image for the pinned
+    snapshot, so a :class:`SnapshotPageStore` view keeps reading the exact
+    store state of pin time while the writer mutates underneath it.  This
+    is MVCC in its smallest form: versions are materialised lazily (only
+    pages actually overwritten while a pin is live cost a copy) and freed
+    when the last snapshot over them unpins.
+
+    All snapshot bookkeeping is lock-protected, so reader threads may pull
+    pages from their snapshots while the writer commits.
+    """
+
+    def __init__(self, base: PageStore):
+        super().__init__(base)
+        self._lock = threading.Lock()
+        self._snapshots: dict[int, dict[int, bytes | None]] = {}
+        self._next_token = 0
+
+    def pin_snapshot(self) -> int:
+        """Freeze the current committed state; returns the snapshot token."""
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            self._snapshots[token] = {}
+            return token
+
+    def unpin_snapshot(self, token: int) -> None:
+        """Release a snapshot and the page versions it kept alive."""
+        with self._lock:
+            self._snapshots.pop(token, None)
+
+    @property
+    def pinned_snapshots(self) -> int:
+        return len(self._snapshots)
+
+    @property
+    def preserved_pages(self) -> int:
+        """Pre-write page images currently kept alive for snapshots."""
+        return sum(len(pages) for pages in self._snapshots.values())
+
+    def write(
+        self,
+        page_id: int,
+        data: bytes,
+        kind: AccessKind = AccessKind.RANDOM_WRITE,
+        charge: bool = True,
+    ) -> None:
+        with self._lock:
+            for pages in self._snapshots.values():
+                if page_id not in pages:
+                    # None marks "read through to the base store": the page
+                    # had no overlay version when the snapshot was pinned.
+                    pages[page_id] = self._pages.get(page_id)
+            super().write(page_id, data, kind, charge)
+
+    def snapshot_read(self, token: int, page_id: int) -> bytes:
+        """The page as it stood when ``token`` was pinned (uncharged)."""
+        with self._lock:
+            pages = self._snapshots.get(token)
+            if pages is None:
+                raise KeyError(f"snapshot {token} is not pinned")
+            if page_id in pages:
+                page = pages[page_id]
+            else:
+                page = self._pages.get(page_id)
+        if page is not None:
+            return page.ljust(self.page_size, b"\x00")
+        if page_id < self.base._next_id:
+            return self.base.read(page_id, charge=False)
+        return b"\x00" * self.page_size
+
+
+class SnapshotPageStore(PageStore):
+    """A read-only view of one pinned snapshot of a
+    :class:`VersionedOverlayStore`.
+
+    Carries its own :class:`IOStats` (so concurrent readers' charges merge
+    honestly, like parallel-engine workers) and a frozen allocation
+    horizon; writes raise :class:`ReadOnlyStoreError`.  Closing the view
+    unpins the snapshot.
+    """
+
+    def __init__(
+        self,
+        owner: VersionedOverlayStore,
+        token: int | None = None,
+        stats: IOStats | None = None,
+    ):
+        super().__init__(owner.page_size, stats if stats is not None else IOStats())
+        self.owner = owner
+        self.token = token if token is not None else owner.pin_snapshot()
+        self._next_id = owner._next_id
+        self._closed = False
+
+    def read(
+        self,
+        page_id: int,
+        kind: AccessKind = AccessKind.RANDOM_READ,
+        charge: bool = True,
+    ) -> bytes:
+        self._validate_id(page_id)
+        if charge:
+            self.stats.record(kind)
+        return self.owner.snapshot_read(self.token, page_id)
+
+    def write(self, page_id: int, data: bytes, kind=AccessKind.RANDOM_WRITE,
+              charge: bool = True) -> None:
+        raise ReadOnlyStoreError(
+            "snapshot views are read-only; mutate through the owning tree"
+        )
+
+    def free(self, page_id: int) -> None:
+        raise ReadOnlyStoreError("snapshot views are read-only")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.owner.unpin_snapshot(self.token)

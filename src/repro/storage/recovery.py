@@ -74,6 +74,16 @@ class FsckReport:
     # itself unsafe to open — so ``ok`` stays True.
     snapshot_errors: list[str] = field(default_factory=list)
     has_snapshot: bool = False
+    # Sidecar write-ahead log (``<path>.wal``), when one exists.  A stale
+    # or torn log is *normal* (a completed checkpoint, a killed writer) —
+    # replay ignores/truncates it — so notes never flip ``ok``; only a
+    # committed record whose page image fails its frame check does, since
+    # replay on open would raise on it.
+    wal_path: str | None = None
+    wal_stale: bool = False
+    wal_transactions: int = 0
+    wal_discarded_records: int = 0
+    wal_notes: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -96,6 +106,17 @@ class FsckReport:
                 + ("CORRUPT (queries degrade to the object-walk kernel)"
                    if self.snapshot_errors else "clean")
             )
+        if self.wal_path is not None:
+            if self.wal_stale:
+                lines.append(f"  wal {self.wal_path}: stale (ignored on open)")
+            else:
+                lines.append(
+                    f"  wal {self.wal_path}: {self.wal_transactions} committed "
+                    f"transaction(s) replayed on open, "
+                    f"{self.wal_discarded_records} uncommitted record(s) discarded"
+                )
+            for note in self.wal_notes:
+                lines.append(f"  wal: {note}")
         for err in self.errors:
             lines.append(f"  error: {err}")
         for err in self.snapshot_errors:
@@ -117,6 +138,8 @@ class SalvageReport:
     out_path: str | None = None
     tree: object | None = None
     snapshot_dropped: bool = False
+    wal_transactions: int = 0
+    wal_pages_applied: int = 0
 
     def render(self) -> str:
         lines = [
@@ -124,6 +147,12 @@ class SalvageReport:
             f"from {self.data_pages_recovered} intact data pages "
             f"({self.pages_scanned} pages scanned)"
         ]
+        if self.wal_transactions:
+            lines.append(
+                f"  write-ahead log: {self.wal_pages_applied} committed page "
+                f"image(s) from {self.wal_transactions} transaction(s) "
+                "took precedence over the base file"
+            )
         if self.snapshot_dropped:
             lines.append(
                 "  soa snapshot section dropped (recompile with "
@@ -229,7 +258,58 @@ def verify(path: str | os.PathLike) -> FsckReport:
             report.errors.append("checksum-of-checksums mismatch")
 
     _verify_snapshot_section(path, manifest, page_size, report)
+    _verify_wal(path, page_size, report)
     return report
+
+
+def _verify_wal(path: str, page_size: int, report: FsckReport) -> None:
+    """Audit the sidecar write-ahead log, if one exists.
+
+    Mirrors exactly what :meth:`HybridTree.open` will do with the log:
+    a generation mismatch makes it stale (ignored), a torn tail is
+    truncated at the last commit, and the committed page images are
+    frame-verified — the one condition that would make replay raise, and
+    therefore the one that lands in ``report.errors``.
+    """
+    from repro.storage import wal as wal_io
+
+    wal_path = wal_io.wal_path_for(path)
+    if not os.path.exists(wal_path):
+        return
+    report.wal_path = wal_path
+    scan = wal_io.scan_wal(wal_path)
+    if scan.header is None:
+        report.wal_stale = True
+        if scan.truncated_reason:
+            report.wal_notes.append(scan.truncated_reason)
+        return
+    pinned = int(scan.header.get("base_generation", -1))
+    if pinned != (report.generation or 0):
+        report.wal_stale = True
+        report.wal_notes.append(
+            f"pinned to base generation {pinned}, file is generation "
+            f"{report.generation} (a completed checkpoint left it behind)"
+        )
+        return
+    report.wal_transactions = scan.transactions
+    report.wal_discarded_records = scan.discarded_records
+    if scan.truncated_reason:
+        report.wal_notes.append(f"tail discarded: {scan.truncated_reason}")
+    for record in scan.records:
+        if record.type != wal_io.REC_PAGE:
+            continue
+        if len(record.payload) != page_size:
+            report.errors.append(
+                f"wal lsn {record.lsn}: page image is {len(record.payload)} "
+                f"bytes (page size {page_size})"
+            )
+            continue
+        try:
+            unframe_page(record.payload, record.page_id)
+        except PageCorruptionError as exc:
+            report.errors.append(
+                f"wal lsn {record.lsn} (page {record.page_id}): {exc.reason}"
+            )
 
 
 def _verify_snapshot_section(
@@ -309,6 +389,57 @@ def _walk(path: str, manifest: dict, page_size: int, report: FsckReport) -> set[
 # ----------------------------------------------------------------------
 # salvage
 # ----------------------------------------------------------------------
+def _wal_salvage_state(path: str, page_size: int, manifest: dict):
+    """What the sidecar WAL contributes to a salvage.
+
+    Returns ``(overrides, excluded, transactions)``: ``overrides`` maps
+    page id to the decoded ``(vectors, oids)`` of its *last* committed
+    data-page image; ``excluded`` is every base-file page id whose base
+    version must be ignored — pages the log rewrote as index nodes, and
+    pages the final committed allocator state declares free.
+    """
+    from repro.storage import wal as wal_io
+
+    overrides: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    excluded: set[int] = set()
+    if not manifest:
+        return overrides, excluded, 0
+    scan = wal_io.usable_scan(path, int(manifest.get("generation", 0)))
+    if scan is None or not scan.transactions:
+        return overrides, excluded, 0
+    import json
+
+    last_free: list[int] = []
+    for pages, commit in wal_io.committed_transactions(scan):
+        for record in pages:
+            try:
+                header, payload = unframe_page(record.payload, record.page_id)
+            except PageCorruptionError:
+                continue
+            if header.kind == PAGE_KIND_DATA:
+                _, count, dims = _DATA_DIMS.unpack_from(payload, 0)
+                offset = _DATA_DIMS.size
+                vectors = np.frombuffer(
+                    payload, dtype="<f4", count=count * dims, offset=offset
+                ).reshape(count, dims)
+                oids = np.frombuffer(
+                    payload, dtype="<u4", count=count, offset=offset + count * dims * 4
+                )
+                overrides[record.page_id] = (vectors, oids)
+                excluded.discard(record.page_id)
+            else:
+                overrides.pop(record.page_id, None)
+                excluded.add(record.page_id)
+        try:
+            last_free = json.loads(commit.payload.decode()).get("free_ids", last_free)
+        except ValueError:
+            pass
+    for pid in last_free:
+        overrides.pop(int(pid), None)
+        excluded.add(int(pid))
+    return overrides, excluded, scan.transactions
+
+
 def iter_intact_data_pages(path: str | os.PathLike, page_size: int):
     """Yield ``(page_id, vectors, oids)`` for every page of the file whose
     frame verifies and whose kind is *data* — regardless of whether the
@@ -384,11 +515,22 @@ def salvage(
         except (PageCorruptionError, ValueError):
             page_size = _probe_page_size(path)
 
+    # A matching-generation sidecar WAL holds *newer* committed images of
+    # some pages: the last committed image of each page id supersedes the
+    # base file's version, and the last commit's free list tells us which
+    # base-file pages died (their entries were reinserted elsewhere in the
+    # same transaction, so keeping both would duplicate objects).
+    wal_overrides, wal_freed, wal_txns = _wal_salvage_state(
+        path, page_size, manifest
+    )
+
     vec_parts: list[np.ndarray] = []
     oid_parts: list[np.ndarray] = []
     dims: int | None = int(manifest["dims"]) if "dims" in manifest else None
     data_pages = 0
-    for _pid, vectors, oids in iter_intact_data_pages(path, page_size):
+    for pid, vectors, oids in iter_intact_data_pages(path, page_size):
+        if pid in wal_overrides or pid in wal_freed:
+            continue
         if dims is None:
             dims = vectors.shape[1]
         if vectors.shape[1] != dims:
@@ -397,6 +539,18 @@ def salvage(
             vec_parts.append(vectors.copy())
             oid_parts.append(oids.copy())
         data_pages += 1
+    wal_data_pages = 0
+    for pid in sorted(wal_overrides):
+        vectors, oids = wal_overrides[pid]
+        if dims is None:
+            dims = vectors.shape[1]
+        if vectors.shape[1] != dims:
+            continue
+        if len(oids):
+            vec_parts.append(vectors.copy())
+            oid_parts.append(oids.copy())
+        data_pages += 1
+        wal_data_pages += 1
     if dims is None:
         raise RecoveryError(f"{path}: no intact data pages to salvage")
 
@@ -424,6 +578,8 @@ def salvage(
         # The rebuilt tree carries no snapshot: a section in the damaged
         # file (however intact) describes the *old* page layout.
         snapshot_dropped="soa" in manifest,
+        wal_transactions=wal_txns,
+        wal_pages_applied=wal_data_pages,
     )
     if out_path is not None:
         tree.save(out_path)

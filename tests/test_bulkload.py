@@ -106,3 +106,79 @@ class TestBulkLoad:
         tree = HybridTree.bulk_load(data)
         tree.validate()
         assert len(tree.point_search(data[0])) == 500
+
+
+class TestWritePathFixes:
+    """Regression tests for the write-path bugfix sweep."""
+
+    def test_bulk_load_marks_tree_modified(self):
+        data = uniform_dataset(200, 4, seed=40)
+        tree = HybridTree(4)
+        bulk_load_into(tree, data)
+        assert tree.modified_since_save
+        assert tree._soa_snapshot is None
+
+    def test_bulk_into_reopened_empty_tree_requires_save(self, tmp_path):
+        """A bulk load is a mutation like any other: the parallel-session
+        guard must see it, or workers would silently serve the stale file."""
+        path = str(tmp_path / "empty.pages")
+        seed = HybridTree(4)
+        seed.save(path)
+        seed.close()
+        tree = HybridTree.open(path)
+        bulk_load_into(tree, uniform_dataset(300, 4, seed=41))
+        assert tree.modified_since_save
+        assert tree._soa_snapshot is None  # stale SOA kernel dropped
+        with pytest.raises(ValueError, match="unsaved"):
+            tree.session(workers=2)
+        tree.close()
+
+    def test_insert_rejects_out_of_range_oids(self):
+        from repro.core import MAX_OID, OidRangeError
+
+        tree = HybridTree(4)
+        v = np.full(4, 0.5, dtype=np.float32)
+        for bad in (-1, MAX_OID + 1, 2**40):
+            with pytest.raises(OidRangeError):
+                tree.insert(v, bad)
+        with pytest.raises(OidRangeError):
+            tree.insert(v, 1.5)  # not an integer at all
+        assert len(tree) == 0  # nothing slipped in
+        tree.insert(v, MAX_OID)  # the boundary itself is storable
+        assert tree.point_search(v) == [MAX_OID]
+
+    def test_bulk_load_rejects_out_of_range_oids(self):
+        """np.asarray(..., dtype=np.uint32) used to wrap int64 oids
+        silently; every bad id must now raise before the tree mutates."""
+        from repro.core import MAX_OID, OidRangeError
+
+        data = uniform_dataset(50, 4, seed=42)
+        bad_oid_sets = [
+            np.arange(50, dtype=np.int64) - 1,  # negative
+            np.arange(50, dtype=np.int64) + MAX_OID - 10,  # > MAX_OID
+            np.arange(50, dtype=np.float64),  # non-integer dtype
+        ]
+        for oids in bad_oid_sets:
+            with pytest.raises(OidRangeError):
+                HybridTree.bulk_load(data, oids=oids)
+        ok = np.arange(50, dtype=np.int64) + (MAX_OID - 49)
+        tree = HybridTree.bulk_load(data, oids=ok)
+        found = sorted(tree.range_search(Rect([0.0] * 4, [1.0] * 4)))
+        assert found == sorted(int(o) for o in ok)
+
+    def test_skewed_split_tree_falls_back_to_dynamic_inserts(self):
+        """Geometrically-skewed data at a tiny min_fill produces pack
+        partitions with a single leaf on one side; packing used to raise
+        NotImplementedError — now those entries defer to dynamic inserts."""
+        n = 600
+        data = np.empty((n, 2), dtype=np.float32)
+        data[:, 0] = 0.9 ** np.arange(n)
+        data[:, 0] /= data[:, 0].max()
+        data[:, 1] = 0.5
+        tree = HybridTree(2, page_size=512, min_fill=0.05)
+        deferred = bulk_load_into(tree, data)
+        assert deferred > 0  # the skew fallback really fired
+        assert len(tree) == n
+        tree.validate()
+        for i in range(0, n, 37):
+            assert i in tree.point_search(data[i])

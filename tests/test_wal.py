@@ -1,0 +1,554 @@
+"""Write-ahead log: durability, kill-point matrix, group commit, snapshots.
+
+Four guarantees under test, mirroring the save-path crash matrix in
+``test_crash_matrix.py``:
+
+1. **Durability** — every mutation committed through the WAL survives a
+   process death with *no* save(): reopening (plain or mmap) replays the
+   log over the last checkpoint.
+2. **Old-or-new at transaction granularity** — truncate or corrupt the
+   log at *any* byte and the recovered state is exactly the state after
+   some committed prefix of transactions, never a hybrid.
+3. **Checkpoint crash safety** — kill the checkpointer at any page write
+   or between the atomic rename and the log reset; recovery always sees
+   either (old superblock + live log) or (new superblock + stale log),
+   both of which reproduce the committed state.
+4. **Snapshot isolation** — readers pinned before a write (snapshot
+   views, parallel-engine workers, mmap mappings across a checkpoint)
+   return bit-identical results to the quiesced pre-write state while
+   the writer keeps mutating.
+"""
+
+import shutil
+import threading
+
+import numpy as np
+import pytest
+
+import repro.core.hybridtree as hybridtree_mod
+from repro.core import HybridTree
+from repro.datasets import uniform_dataset
+from repro.geometry.rect import Rect
+from repro.storage import wal as wal_io
+from repro.storage.errors import CrashError, ReadOnlyStoreError
+from repro.storage.faults import FaultInjectingPageStore
+from repro.storage.pagestore import VersionedOverlayStore
+from repro.storage.recovery import salvage, verify
+
+DIMS = 3
+EVERYTHING = Rect([0.0] * DIMS, [1.0] * DIMS)
+QUERY = Rect([0.2] * DIMS, [0.8] * DIMS)
+
+_real_save_store = hybridtree_mod._save_store
+
+
+def _fingerprint(tree):
+    """Everything a query can observe, in a comparable form."""
+    return (
+        len(tree),
+        sorted(tree.range_search(EVERYTHING)),
+        sorted(tree.range_search(QUERY)),
+        tree.knn(np.full(DIMS, 0.4, dtype=np.float32), 5),
+    )
+
+
+def _disk_state(path, mmap=False):
+    tree = HybridTree.open(path, mmap=mmap)
+    try:
+        return _fingerprint(tree)
+    finally:
+        tree.close()
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    data = uniform_dataset(120, DIMS, seed=11)
+    tree = HybridTree.bulk_load(data)
+    path = str(tmp_path / "t.pages")
+    tree.save(path)
+    tree.close()
+    return path, data
+
+
+def _mutate(tree, data, start_oid, count):
+    """A deterministic mix of inserts and deletes; one transaction each."""
+    for i in range(count):
+        if i % 5 == 4:
+            tree.delete(data[i], i)
+        else:
+            tree.insert(
+                np.clip(data[i] * 0.5 + 0.25, 0.0, 1.0), start_oid + i
+            )
+
+
+class TestDurability:
+    def test_mutations_survive_reopen_without_save(self, saved):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        _mutate(tree, data, 1000, 40)
+        live = _fingerprint(tree)
+        tree.close()  # no save(): the log is the only durable copy
+
+        reopened = HybridTree.open(path)
+        assert reopened.wal_replayed_transactions == 40
+        assert _fingerprint(reopened) == live
+        reopened.validate()
+        reopened.close()
+
+        # The zero-copy read path replays through an overlay and answers
+        # identically (the stale SOA snapshot must not be used).
+        mapped = HybridTree.open(path, mmap=True)
+        assert _fingerprint(mapped) == live
+        mapped.close()
+
+    def test_noop_mutation_appends_nothing(self, saved):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        before = tree.wal.size_bytes
+        assert not tree.delete(np.full(DIMS, 0.123, dtype=np.float32), 999999)
+        assert tree.wal.size_bytes == before
+        tree.close()
+
+    def test_wal_requires_writable_path(self, saved):
+        path, _ = saved
+        with pytest.raises(ValueError, match="mmap"):
+            HybridTree.open(path, mmap=True, wal=True)
+
+    def test_concurrent_writers_serialize_correctly(self, saved):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        errors = []
+
+        def writer(tid):
+            try:
+                for i in range(25):
+                    vec = np.clip(
+                        data[(tid * 25 + i) % len(data)] * 0.9 + 0.05, 0.0, 1.0
+                    )
+                    tree.insert(vec, 5000 + tid * 25 + i)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(tree) == 120 + 100
+        live = _fingerprint(tree)
+        tree.close()
+        assert _disk_state(path) == live
+
+
+class TestKillPointMatrix:
+    def _committed_states(self, saved, transactions=10):
+        """Run ``transactions`` mutations, fingerprinting after each commit."""
+        path, data = saved
+        states = [_disk_state(path)]
+        tree = HybridTree.open(path, wal=True)
+        for i in range(transactions):
+            if i % 4 == 3:
+                assert tree.delete(data[i], i)
+            else:
+                tree.insert(
+                    np.clip(data[i] * 0.5 + 0.25, 0.0, 1.0), 3000 + i
+                )
+            states.append(_fingerprint(tree))
+        tree.close()
+        return path, states
+
+    def test_truncation_at_every_boundary_recovers_a_committed_prefix(
+        self, saved, tmp_path
+    ):
+        path, states = self._committed_states(saved)
+        wal_path = wal_io.wal_path_for(path)
+        full = open(wal_path, "rb").read()
+        scan = wal_io.scan_wal(wal_path)
+        assert scan.transactions == 10 and scan.truncated_reason is None
+
+        # Every record boundary, plus cuts inside a header and inside a
+        # payload — a kill mid-write can land anywhere.
+        cuts = {0, len(full)}
+        for record in scan.records:
+            cuts.update(
+                {
+                    record.offset,
+                    record.offset + 11,                      # torn header
+                    record.offset + wal_io.RECORD_HEADER_SIZE + 3,  # torn payload
+                    record.end_offset,
+                }
+            )
+        cuts = sorted(c for c in cuts if c <= len(full))
+
+        workdir = tmp_path / "cut"
+        workdir.mkdir()
+        target = str(workdir / "t.pages")
+        previous_txns = -1
+        for cut in cuts:
+            shutil.copyfile(path, target)
+            with open(wal_io.wal_path_for(target), "wb") as f:
+                f.write(full[:cut])
+            partial = wal_io.scan_wal(wal_io.wal_path_for(target))
+            # Usable transactions are monotone in the truncation point.
+            assert partial.transactions >= max(previous_txns, 0)
+            previous_txns = partial.transactions
+            recovered = _disk_state(target)
+            assert recovered == states[partial.transactions], cut
+            assert recovered in states  # old-or-new, never a hybrid
+            report = verify(target)
+            assert report.ok, (cut, report.errors)
+
+        # The whole file replays every transaction.
+        assert previous_txns == 10
+        assert _disk_state(target) == states[-1]
+
+    def test_bitflip_in_log_discards_from_the_damage_onward(
+        self, saved, tmp_path
+    ):
+        path, states = self._committed_states(saved)
+        wal_path = wal_io.wal_path_for(path)
+        full = bytearray(open(wal_path, "rb").read())
+        scan = wal_io.scan_wal(wal_path)
+        victim = scan.records[len(scan.records) // 2]
+        flip_at = victim.offset + wal_io.RECORD_HEADER_SIZE + 5
+        full[flip_at] ^= 0x40
+
+        target = str(tmp_path / "flip.pages")
+        shutil.copyfile(path, target)
+        with open(wal_io.wal_path_for(target), "wb") as f:
+            f.write(bytes(full))
+        partial = wal_io.scan_wal(wal_io.wal_path_for(target))
+        assert partial.truncated_reason is not None
+        assert 0 < partial.transactions < 10
+        assert _disk_state(target) == states[partial.transactions]
+
+    def test_uncommitted_tail_is_discarded(self, saved, tmp_path):
+        """Page records with no commit behind them must not be applied."""
+        path, states = self._committed_states(saved, transactions=3)
+        wal_path = wal_io.wal_path_for(path)
+        scan = wal_io.scan_wal(wal_path)
+        pages, commit = wal_io.committed_transactions(scan)[-1]
+        # Keep the last transaction's page images but drop its commit.
+        cut = pages[-1].end_offset if pages else commit.offset
+        full = open(wal_path, "rb").read()
+        target = str(tmp_path / "tail.pages")
+        shutil.copyfile(path, target)
+        with open(wal_io.wal_path_for(target), "wb") as f:
+            f.write(full[:cut])
+        partial = wal_io.scan_wal(wal_io.wal_path_for(target))
+        assert partial.transactions == 2
+        assert partial.discarded_records == len(pages)
+        assert _disk_state(target) == states[2]
+
+
+class TestGroupCommit:
+    def test_concurrent_commits_coalesce_to_one_fsync(self, tmp_path):
+        wal = wal_io.WriteAheadLog(str(tmp_path / "x.wal"), 4096, 0)
+        wal.sync_count = 0  # discount the header fsync bookkeeping
+        for i in range(8):
+            wal.append_commit({"i": i})
+        barrier = threading.Barrier(8)
+
+        def committer():
+            barrier.wait()
+            wal.commit()
+
+        threads = [threading.Thread(target=committer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All eight targets were covered by the first leader's single fsync.
+        assert wal.commit_count == 8
+        assert wal.sync_count == 1
+        wal.close()
+
+    def test_scan_round_trips_records(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        wal = wal_io.WriteAheadLog(path, 4096, 7)
+        from repro.storage.page import PAGE_KIND_BLOB, frame_page
+
+        image = frame_page(b"payload", 4096, PAGE_KIND_BLOB)
+        wal.append_page(42, image)
+        wal.append_commit({"kind": "test", "count": 1})
+        wal.commit()
+        wal.close()
+
+        scan = wal_io.scan_wal(path)
+        assert scan.header["base_generation"] == 7
+        assert scan.transactions == 1
+        types = [r.type for r in scan.records]
+        assert types == [wal_io.REC_PAGE, wal_io.REC_COMMIT]
+        assert scan.records[0].page_id == 42
+        assert scan.records[0].payload == image
+
+    def test_reopen_continues_existing_log(self, saved):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        _mutate(tree, data, 1000, 5)
+        first_lsn = tree.wal.last_lsn
+        tree.close()
+
+        # Reopen with wal=True: replays the 5 transactions *and* keeps
+        # appending to the same log without losing them.
+        tree = HybridTree.open(path, wal=True)
+        assert tree.wal_replayed_transactions == 5
+        assert tree.wal.last_lsn == first_lsn
+        for i in range(5):
+            tree.insert(np.clip(data[i] * 0.3 + 0.35, 0.0, 1.0), 2000 + i)
+        live = _fingerprint(tree)
+        tree.close()
+        reopened = HybridTree.open(path)
+        assert reopened.wal_replayed_transactions == 10
+        assert _fingerprint(reopened) == live
+        reopened.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_folds_log_and_resets_it(self, saved):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        _mutate(tree, data, 1000, 30)
+        live = _fingerprint(tree)
+        logged = tree.wal.size_bytes
+        info = tree.checkpoint()
+        assert info["generation"] == 1
+        assert info["wal_bytes_folded"] == logged
+        assert tree.wal.size_bytes < logged  # back to just the header
+        tree.close()
+
+        reopened = HybridTree.open(path)
+        assert reopened.wal_replayed_transactions == 0  # all in the superblock
+        assert _fingerprint(reopened) == live
+        reopened.close()
+
+    @pytest.mark.parametrize("torn", [False, True], ids=["clean-cut", "torn-write"])
+    def test_checkpoint_crash_at_every_write_boundary(
+        self, saved, tmp_path, monkeypatch, torn
+    ):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        _mutate(tree, data, 1000, 20)
+        live = _fingerprint(tree)
+        tree.close()
+
+        def crashing_factory(k):
+            def factory(p, page_size):
+                store = FaultInjectingPageStore(
+                    _real_save_store(p, page_size), seed=2000 + k
+                )
+                store.crash_after_writes(k, torn=torn)
+                return store
+
+            return factory
+
+        workdir = tmp_path / "ckpt"
+        workdir.mkdir()
+        target = str(workdir / "t.pages")
+        completed = False
+        for k in range(60):
+            shutil.copyfile(path, target)
+            shutil.copyfile(wal_io.wal_path_for(path), wal_io.wal_path_for(target))
+            monkeypatch.setattr(
+                hybridtree_mod, "_save_store", crashing_factory(k)
+            )
+            victim = HybridTree.open(target, wal=True)
+            try:
+                victim.checkpoint()
+            except CrashError:
+                victim.close()
+                # Old superblock + intact log: nothing lost.
+                report = verify(target)
+                assert report.ok, (k, report.errors)
+                assert report.wal_transactions == 20
+                assert _disk_state(target) == live, k
+            else:
+                victim.close()
+                monkeypatch.setattr(hybridtree_mod, "_save_store", _real_save_store)
+                assert _disk_state(target) == live, k
+                completed = True
+                break
+        assert completed, "crash matrix never reached a clean checkpoint"
+
+    def test_stale_log_after_rename_is_ignored(self, saved, tmp_path):
+        """Simulate a kill between the rename and the log reset."""
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        _mutate(tree, data, 1000, 15)
+        live = _fingerprint(tree)
+        stale_log = open(wal_io.wal_path_for(path), "rb").read()
+        tree.checkpoint()
+        tree.close()
+
+        # Put the pre-checkpoint log back: generation 0 against a
+        # generation-1 superblock.  Replay must ignore it — the new
+        # superblock already contains every logged transaction.
+        with open(wal_io.wal_path_for(path), "wb") as f:
+            f.write(stale_log)
+        report = verify(path)
+        assert report.ok
+        assert report.wal_stale
+        reopened = HybridTree.open(path)
+        assert reopened.wal_replayed_transactions == 0
+        assert _fingerprint(reopened) == live
+        reopened.close()
+
+
+class TestSnapshotIsolation:
+    def test_view_is_bit_identical_to_pin_time_state(self, saved):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        _mutate(tree, data, 1000, 10)
+        pinned = _fingerprint(tree)
+
+        view = tree.snapshot_view()
+        store = tree.nm.store
+        assert isinstance(store, VersionedOverlayStore)
+        assert store.pinned_snapshots == 1
+
+        _mutate(tree, data, 2000, 60)
+        assert _fingerprint(tree) != pinned  # the writer really moved on
+        assert _fingerprint(view) == pinned  # the reader did not
+        view.validate()
+
+        with pytest.raises(ReadOnlyStoreError):
+            view.insert(np.full(DIMS, 0.5, dtype=np.float32), 99999)
+        with pytest.raises(ReadOnlyStoreError):
+            view.delete(np.full(DIMS, 0.5, dtype=np.float32), 1)
+
+        view.close()
+        assert store.pinned_snapshots == 0
+        assert store.preserved_pages == 0  # pin released its page versions
+        tree.close()
+
+    def test_views_require_wal(self, saved):
+        path, _ = saved
+        tree = HybridTree.open(path)
+        with pytest.raises(ValueError, match="wal"):
+            tree.snapshot_view()
+        tree.close()
+
+    def test_concurrent_reader_and_writer_threads(self, saved):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            oid = 7000
+            while not stop.is_set():
+                vec = np.clip(
+                    data[oid % len(data)] * 0.8 + 0.1, 0.0, 1.0
+                )
+                tree.insert(vec, oid)
+                oid += 1
+
+        def reader():
+            try:
+                for _ in range(12):
+                    view = tree.snapshot_view()
+                    baseline = _fingerprint(view)
+                    for _ in range(5):
+                        if _fingerprint(view) != baseline:
+                            failures.append("snapshot drifted under writes")
+                            return
+                    view.close()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(repr(exc))
+
+        wt = threading.Thread(target=writer)
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        wt.start()
+        for r in readers:
+            r.start()
+        for r in readers:
+            r.join()
+        stop.set()
+        wt.join()
+        assert not failures
+        # Every preserved version is released once the pins are gone.
+        assert tree.nm.store.pinned_snapshots == 0
+        assert tree.nm.store.preserved_pages == 0
+        live = _fingerprint(tree)
+        tree.close()
+        assert _disk_state(path) == live
+
+    def test_parallel_engine_serves_snapshot_of_live_wal_tree(self, saved):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        _mutate(tree, data, 1000, 25)
+        serial = [sorted(tree.range_search(QUERY)), tree.knn(data[0], 5)]
+        store = tree.nm.store
+        with tree.session(workers=2, mode="thread") as session:
+            assert store.pinned_snapshots > 0  # workers run on pinned views
+            parallel = [
+                sorted(session.range_search(QUERY)),
+                session.knn(data[0], 5),
+            ]
+        assert parallel == serial
+        assert store.pinned_snapshots == 0
+        tree.close()
+
+    def test_mmap_reader_survives_a_checkpoint(self, saved):
+        path, data = saved
+        before = _disk_state(path)
+        mapped = HybridTree.open(path, mmap=True)
+        assert _fingerprint(mapped) == before
+
+        writer = HybridTree.open(path, wal=True)
+        _mutate(writer, data, 1000, 20)
+        after = _fingerprint(writer)
+        writer.checkpoint()  # atomic rename swaps the file under the mapping
+        writer.close()
+
+        # The old mapping keeps serving the pre-checkpoint snapshot…
+        assert _fingerprint(mapped) == before
+        mapped.close()
+        # …and a fresh mapping sees the checkpointed state.
+        assert _disk_state(path, mmap=True) == after
+
+
+class TestFsckAndSalvage:
+    def test_fsck_reports_log_state(self, saved):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        _mutate(tree, data, 1000, 8)
+        tree.close()
+
+        report = verify(path)
+        assert report.ok
+        assert report.wal_path == wal_io.wal_path_for(path)
+        assert report.wal_transactions == 8
+        assert not report.wal_stale
+        assert "8 committed transaction(s)" in report.render()
+
+        # A torn tail is a note, not an error: open handles it.
+        with open(wal_io.wal_path_for(path), "ab") as f:
+            f.write(b"\x00" * 17)
+        report = verify(path)
+        assert report.ok
+        assert report.wal_transactions == 8
+        assert any("discarded" in note for note in report.wal_notes)
+
+    def test_salvage_recovers_wal_only_entries(self, saved, tmp_path):
+        path, data = saved
+        tree = HybridTree.open(path, wal=True)
+        fresh = [
+            (np.full(DIMS, 0.05 + 0.009 * i, dtype=np.float32), 9000 + i)
+            for i in range(12)
+        ]
+        for vec, oid in fresh:
+            tree.insert(vec, oid)
+        expected = _fingerprint(tree)
+        tree.close()
+
+        out = str(tmp_path / "salvaged.pages")
+        report = salvage(path, out)
+        assert report.wal_transactions == 12
+        assert report.wal_pages_applied > 0
+        rebuilt = HybridTree.open(out)
+        assert sorted(rebuilt.range_search(EVERYTHING)) == expected[1]
+        for vec, oid in fresh:
+            assert oid in rebuilt.point_search(vec)
+        rebuilt.close()
