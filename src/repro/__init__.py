@@ -31,15 +31,33 @@ from repro.distances import (
 )
 from repro.engine import BatchMetrics, QuerySession
 from repro.geometry import Rect, Sphere
+from repro.resilience import (
+    AdmissionError,
+    CancelToken,
+    Deadline,
+    PartialResult,
+    QueryAdmissionController,
+    QueryCancelledError,
+    QueryTimeoutError,
+    WorkerCrashError,
+)
 from repro.storage import IOStats
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "BatchMetrics",
+    "CancelToken",
+    "Deadline",
     "HybridTree",
     "IOStats",
+    "PartialResult",
+    "QueryAdmissionController",
+    "QueryCancelledError",
     "QuerySession",
+    "QueryTimeoutError",
+    "WorkerCrashError",
     "L1",
     "L2",
     "LINF",

@@ -51,26 +51,89 @@ class FeatureIndex(Protocol):
     def __len__(self) -> int: ...
 
 
-def measured_loop(index, label: str, calls):
+def measured_loop(index, label: str, calls, deadline=None, on_timeout="raise"):
     """Run ``calls`` one by one against ``index`` with exact instrumentation.
 
     Module-level (not a mixin method) so the ``*_loop`` methods can be
     invoked *unbound* on any object with an ``io`` accountant — including
     the hybrid tree, which does not inherit the mixin.
+
+    ``deadline`` bounds the loop at per-query granularity — the natural
+    grain for a loop whose unit of work is a whole query.  With
+    ``on_timeout="partial"`` the completed prefix comes back in a
+    :class:`~repro.resilience.PartialResult` (queries that ran are marked
+    complete); otherwise a :class:`QueryTimeoutError` propagates.  Metrics
+    cover exactly the queries that ran.
     """
     from repro.engine.metrics import LoopRecorder
+    from repro.resilience import PartialResult, QueryTimeoutError
 
     recorder = LoopRecorder(label, index.io)
     # Charge both access kinds: a checkpoint of random_reads alone
     # silently drops the sequential reads that dominate seqscan/VA-file.
     reads0 = index.io.random_reads + index.io.sequential_reads
     results = []
-    for call in calls:
-        recorder.start_query()
-        results.append(call())
-        recorder.end_query()
+    err = None
+    try:
+        for call in calls:
+            if deadline is not None:
+                deadline.check()
+            recorder.start_query()
+            results.append(call())
+            recorder.end_query()
+    except QueryTimeoutError as exc:
+        if on_timeout != "partial":
+            raise
+        err = exc
     charged = (index.io.random_reads + index.io.sequential_reads) - reads0
+    if err is not None:
+        n = len(calls)
+        completed = np.zeros(n, dtype=bool)
+        completed[: len(results)] = True
+        results.extend([] for _ in range(n - len(results)))
+        results = PartialResult(results, completed, err)
     return results, recorder.finish(charged_reads=charged)
+
+
+def _plain_loop(calls, deadline, on_timeout):
+    """The unmeasured per-query loop, with the same per-query deadline
+    grain and partial-envelope semantics as :func:`measured_loop`."""
+    from repro.resilience import PartialResult, QueryTimeoutError
+
+    results = []
+    err = None
+    try:
+        for call in calls:
+            if deadline is not None:
+                deadline.check()
+            results.append(call())
+    except QueryTimeoutError as exc:
+        if on_timeout != "partial":
+            raise
+        err = exc
+    if err is None:
+        return results
+    n = len(calls)
+    completed = np.zeros(n, dtype=bool)
+    completed[: len(results)] = True
+    results.extend([] for _ in range(n - len(results)))
+    return PartialResult(results, completed, err)
+
+
+def _loop_run(index, label, calls, return_metrics, timeout, on_timeout):
+    """Shared loop driver: coerce the deadline, pick measured vs plain.
+
+    Module-level so the ``*_loop`` methods stay invokable unbound on any
+    object with an ``io`` accountant (the hybrid tree included).
+    """
+    from repro.engine.kernel import check_on_timeout
+    from repro.resilience import Deadline
+
+    check_on_timeout(on_timeout)
+    deadline = Deadline.coerce(timeout)
+    if return_metrics:
+        return measured_loop(index, label, calls, deadline, on_timeout)
+    return _plain_loop(calls, deadline, on_timeout)
 
 
 class LoopQueryMixin:
@@ -81,32 +144,34 @@ class LoopQueryMixin:
     returns a :class:`repro.engine.metrics.BatchMetrics` alongside the
     results — the instrumented single-query side of every batch-vs-loop
     comparison in the benchmarks and the conformance suite.
+
+    ``timeout``/``on_timeout`` bound the loop at per-query granularity —
+    see :func:`measured_loop`.
     """
 
-    def range_search_loop(self, queries, return_metrics: bool = False):
-        if not return_metrics:
-            return [self.range_search(q) for q in queries]
-        return measured_loop(
-            self, "range-loop", [lambda q=q: self.range_search(q) for q in queries]
+    def range_search_loop(
+        self, queries, return_metrics: bool = False,
+        timeout=None, on_timeout: str = "raise",
+    ):
+        return _loop_run(
+            self, "range-loop",
+            [lambda q=q: self.range_search(q) for q in queries],
+            return_metrics, timeout, on_timeout,
         )
 
     def distance_range_loop(
-        self, centers, radii, metric: Metric = L2, return_metrics: bool = False
+        self, centers, radii, metric: Metric = L2, return_metrics: bool = False,
+        timeout=None, on_timeout: str = "raise",
     ):
         centers = np.asarray(centers)
         radii = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(centers),))
-        if not return_metrics:
-            return [
-                self.distance_range(c, float(r), metric)
-                for c, r in zip(centers, radii)
-            ]
-        return measured_loop(
-            self,
-            "distance-loop",
+        return _loop_run(
+            self, "distance-loop",
             [
                 lambda c=c, r=r: self.distance_range(c, float(r), metric)
                 for c, r in zip(centers, radii)
             ],
+            return_metrics, timeout, on_timeout,
         )
 
     def knn_loop(
@@ -116,6 +181,8 @@ class LoopQueryMixin:
         metric: Metric = L2,
         approximation_factor: float = 0.0,
         return_metrics: bool = False,
+        timeout=None,
+        on_timeout: str = "raise",
     ):
         centers = np.asarray(centers)
         kwargs = (
@@ -123,12 +190,10 @@ class LoopQueryMixin:
             if approximation_factor
             else {}
         )
-        if not return_metrics:
-            return [self.knn(c, k, metric, **kwargs) for c in centers]
-        return measured_loop(
-            self,
-            "knn-loop",
+        return _loop_run(
+            self, "knn-loop",
             [lambda c=c: self.knn(c, k, metric, **kwargs) for c in centers],
+            return_metrics, timeout, on_timeout,
         )
 
 
@@ -163,18 +228,25 @@ class KernelQueryMixin(LoopQueryMixin):
     until the structure is re-compiled.
     """
 
-    def range_search_many(self, queries, return_metrics: bool = False):
+    def range_search_many(
+        self, queries, return_metrics: bool = False,
+        timeout=None, on_timeout: str = "raise",
+    ):
         from repro.engine.soa import dispatch_range_search_many
 
-        return dispatch_range_search_many(self, queries, return_metrics)
+        return dispatch_range_search_many(
+            self, queries, return_metrics, "range-batch", timeout, on_timeout
+        )
 
     def distance_range_many(
-        self, centers, radii, metric: Metric = L2, return_metrics: bool = False
+        self, centers, radii, metric: Metric = L2, return_metrics: bool = False,
+        timeout=None, on_timeout: str = "raise",
     ):
         from repro.engine.soa import dispatch_distance_range_many
 
         return dispatch_distance_range_many(
-            self, centers, radii, metric, return_metrics
+            self, centers, radii, metric, return_metrics, "distance-batch",
+            timeout, on_timeout,
         )
 
     def knn_many(
@@ -184,11 +256,14 @@ class KernelQueryMixin(LoopQueryMixin):
         metric: Metric = L2,
         approximation_factor: float = 0.0,
         return_metrics: bool = False,
+        timeout=None,
+        on_timeout: str = "raise",
     ):
         from repro.engine.soa import dispatch_knn_many
 
         return dispatch_knn_many(
-            self, centers, k, metric, approximation_factor, return_metrics
+            self, centers, k, metric, approximation_factor, return_metrics,
+            "knn-batch", timeout, on_timeout,
         )
 
     # -- struct-of-arrays snapshot lifecycle ---------------------------

@@ -293,7 +293,10 @@ class MTree(KernelQueryMixin):
             "index such as the hybrid tree"
         )
 
-    def range_search_many(self, queries, return_metrics: bool = False):
+    def range_search_many(
+        self, queries, return_metrics: bool = False,
+        timeout=None, on_timeout: str = "raise",
+    ):
         raise TypeError(
             "the M-tree is distance-based: it has no coordinate geometry to "
             "answer bounding-box (window) queries — use a feature-based "
@@ -315,11 +318,14 @@ class MTree(KernelQueryMixin):
         return self.knn_many([query], k, metric, approximation_factor)[0]
 
     def distance_range_many(
-        self, centers, radii, metric: Metric | None = None, return_metrics: bool = False
+        self, centers, radii, metric: Metric | None = None,
+        return_metrics: bool = False, timeout=None, on_timeout: str = "raise",
     ):
         if metric is not None:
             self._check_metric(metric)
-        return super().distance_range_many(centers, radii, self.metric, return_metrics)
+        return super().distance_range_many(
+            centers, radii, self.metric, return_metrics, timeout, on_timeout
+        )
 
     def knn_many(
         self,
@@ -328,11 +334,14 @@ class MTree(KernelQueryMixin):
         metric: Metric | None = None,
         approximation_factor: float = 0.0,
         return_metrics: bool = False,
+        timeout=None,
+        on_timeout: str = "raise",
     ):
         if metric is not None:
             self._check_metric(metric)
         return super().knn_many(
-            centers, k, self.metric, approximation_factor, return_metrics
+            centers, k, self.metric, approximation_factor, return_metrics,
+            timeout, on_timeout,
         )
 
     def trav_check_metric(self, metric: Metric) -> None:

@@ -255,6 +255,7 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
     from repro.engine import QuerySession
     from repro.eval.harness import build_index
     from repro.eval.report import render_table
+    from repro.resilience import PartialResult
 
     if args.queries < 1:
         raise SystemExit("--queries must be >= 1")
@@ -271,6 +272,7 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
     data = makers[args.dataset](args.count, args.dims, seed=args.seed)
     index = build_index(args.index, data, build="bulk")
     metric = _metric(args.metric)
+    budget = {"timeout": args.timeout, "on_timeout": args.on_timeout}
     use_soa = args.engine == "soa"
     if use_soa and not hasattr(index, "compile_snapshot"):
         raise SystemExit(
@@ -303,21 +305,26 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
         start = time.perf_counter()
         batch_results, batch_metrics = run_batch()
         batch_wall = time.perf_counter() - start
-        identical = loop_results == batch_results
-        rows.append(
-            {
-                "mode": label,
-                **{
-                    k: loop_metrics.summary()[k]
-                    for k in ("charged_reads", "lat_p50_ms", "lat_p95_ms")
-                },
-                "loop_s": round(loop_wall, 3),
-                "batch_s": round(batch_wall, 3),
-                "speedup": round(loop_wall / batch_wall, 2) if batch_wall else 0.0,
-                "batch_reads": batch_metrics.charged_reads,
-                "identical": identical,
-            }
-        )
+        row = {
+            "mode": label,
+            **{
+                k: loop_metrics.summary()[k]
+                for k in ("charged_reads", "lat_p50_ms", "lat_p95_ms")
+            },
+            "loop_s": round(loop_wall, 3),
+            "batch_s": round(batch_wall, 3),
+            "speedup": round(loop_wall / batch_wall, 2) if batch_wall else 0.0,
+            "batch_reads": batch_metrics.charged_reads,
+            "identical": loop_results == batch_results,
+        }
+        if isinstance(batch_results, PartialResult):
+            # The deadline fired: report what was salvaged instead of
+            # pretending a truncated run matched the loop.
+            row["identical"] = "-"
+            row["complete"] = (
+                f"{batch_results.completed_queries}/{len(batch_results)}"
+            )
+        rows.append(row)
         reports.append(loop_metrics.render())
         reports.append(batch_metrics.render())
 
@@ -329,7 +336,7 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
         compare(
             "range",
             lambda: _loop_range(index, boxes),
-            lambda: index.range_search_many(boxes, return_metrics=True),
+            lambda: index.range_search_many(boxes, return_metrics=True, **budget),
         )
     else:
         # Distance-based structures (M-tree) have no box geometry: bench
@@ -342,20 +349,22 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
             "distance",
             lambda: _loop_distance(index, dist[0], dist[1], metric),
             lambda: index.distance_range_many(
-                dist[0], dist[1], metric, return_metrics=True
+                dist[0], dist[1], metric, return_metrics=True, **budget
             ),
         )
     compare(
         f"knn k={args.k}",
         lambda: _loop_knn(index, centers, args.k, metric),
-        lambda: index.knn_many(centers, args.k, metric, return_metrics=True),
+        lambda: index.knn_many(centers, args.k, metric, return_metrics=True, **budget),
     )
     if isinstance(index, HybridTree):
         with QuerySession(index, pin_levels=args.pin_levels) as session:
             compare(
                 f"knn k={args.k} (session, {session.pinned_pages} pinned)",
                 lambda: _loop_knn(index, centers, args.k, metric),
-                lambda: session.knn_many(centers, args.k, metric, return_metrics=True),
+                lambda: session.knn_many(
+                    centers, args.k, metric, return_metrics=True, **budget
+                ),
             )
 
     print(render_table(rows, f"batch engine vs single-query loop ({args.index})"))
@@ -365,11 +374,11 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
 
     if args.workers > 1 or args.mmap:
         print()
-        _bench_parallel(args, index, boxes, dist, centers, metric)
+        _bench_parallel(args, index, boxes, dist, centers, metric, budget)
     return 0
 
 
-def _bench_parallel(args, index, boxes, dist, centers, metric) -> None:
+def _bench_parallel(args, index, boxes, dist, centers, metric, budget) -> None:
     """Compare serial batch execution against a multi-worker engine.
 
     A hybrid tree is saved and reopened so process workers and mmap read
@@ -399,8 +408,12 @@ def _bench_parallel(args, index, boxes, dist, centers, metric) -> None:
             specs.append(
                 (
                     "range",
-                    lambda: serial.range_search_many(boxes, return_metrics=True),
-                    lambda eng: eng.range_search_many(boxes, return_metrics=True),
+                    lambda: serial.range_search_many(
+                        boxes, return_metrics=True, **budget
+                    ),
+                    lambda eng: eng.range_search_many(
+                        boxes, return_metrics=True, **budget
+                    ),
                 )
             )
         if dist is not None:
@@ -408,18 +421,22 @@ def _bench_parallel(args, index, boxes, dist, centers, metric) -> None:
                 (
                     "distance",
                     lambda: serial.distance_range_many(
-                        dist[0], dist[1], metric, return_metrics=True
+                        dist[0], dist[1], metric, return_metrics=True, **budget
                     ),
                     lambda eng: eng.distance_range_many(
-                        dist[0], dist[1], metric, return_metrics=True
+                        dist[0], dist[1], metric, return_metrics=True, **budget
                     ),
                 )
             )
         specs.append(
             (
                 f"knn k={args.k}",
-                lambda: serial.knn_many(centers, args.k, metric, return_metrics=True),
-                lambda eng: eng.knn_many(centers, args.k, metric, return_metrics=True),
+                lambda: serial.knn_many(
+                    centers, args.k, metric, return_metrics=True, **budget
+                ),
+                lambda eng: eng.knn_many(
+                    centers, args.k, metric, return_metrics=True, **budget
+                ),
             )
         )
         rows = []
@@ -620,6 +637,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--mmap",
         action="store_true",
         help="reopen via the zero-copy mmap read path (fsck once at open)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="deadline in seconds applied to every batch call "
+        "(typed QueryTimeoutError when it fires)",
+    )
+    p.add_argument(
+        "--on-timeout",
+        choices=["raise", "partial"],
+        default="raise",
+        help="when the deadline fires: raise, or keep the partial results "
+        "salvaged before it (reported with a completed-query count)",
     )
     p.set_defaults(fn=cmd_bench_batch)
 

@@ -1051,11 +1051,21 @@ class HybridTree:
 
         Answers reflect the pages as persisted — the last ``save()`` plus
         any flushed mutations — which is exactly what survives a crash.
+
+        Honors any ambient query deadline (``repro.resilience``): a
+        degraded-to-scan query inside a ``timeout=`` batch can't run
+        unbounded, and the pages scanned before the budget expired stay
+        billed.
         """
+        from repro.resilience import active_deadline
+
+        deadline = active_deadline()
         store = self.nm.store
         vec_parts: list[np.ndarray] = []
         oid_parts: list[np.ndarray] = []
         for page_id in range(store._next_id):
+            if deadline is not None and page_id % 128 == 0:
+                deadline.check()
             self.nm.stats.record(AccessKind.SEQUENTIAL_READ)
             try:
                 node = self.nm.codec.decode(store.read(page_id, charge=False))
@@ -1074,20 +1084,29 @@ class HybridTree:
     # ------------------------------------------------------------------
     # Batch queries (repro.engine: one shared traversal serves the batch)
     # ------------------------------------------------------------------
-    def range_search_many(self, queries, return_metrics: bool = False):
+    def range_search_many(
+        self, queries, return_metrics: bool = False,
+        timeout=None, on_timeout: str = "raise",
+    ):
         """Batch form of :meth:`range_search`: one traversal, bit-identical
-        results, each node charged once for the whole batch."""
+        results, each node charged once for the whole batch.  ``timeout``
+        (seconds or a :class:`~repro.resilience.Deadline`) bounds the wall
+        clock; ``on_timeout="partial"`` returns a
+        :class:`~repro.resilience.PartialResult` instead of raising."""
         from repro.engine import range_search_many
 
-        return range_search_many(self, queries, return_metrics)
+        return range_search_many(self, queries, return_metrics, timeout, on_timeout)
 
     def distance_range_many(
-        self, centers, radii, metric: Metric = L2, return_metrics: bool = False
+        self, centers, radii, metric: Metric = L2, return_metrics: bool = False,
+        timeout=None, on_timeout: str = "raise",
     ):
         """Batch form of :meth:`distance_range` (scalar or per-query radii)."""
         from repro.engine import distance_range_many
 
-        return distance_range_many(self, centers, radii, metric, return_metrics)
+        return distance_range_many(
+            self, centers, radii, metric, return_metrics, timeout, on_timeout
+        )
 
     def knn_many(
         self,
@@ -1096,11 +1115,16 @@ class HybridTree:
         metric: Metric = L2,
         approximation_factor: float = 0.0,
         return_metrics: bool = False,
+        timeout=None,
+        on_timeout: str = "raise",
     ):
         """Batch form of :meth:`knn` over a shared branch-and-bound pass."""
         from repro.engine import knn_many
 
-        return knn_many(self, centers, k, metric, approximation_factor, return_metrics)
+        return knn_many(
+            self, centers, k, metric, approximation_factor, return_metrics,
+            timeout, on_timeout,
+        )
 
     # -- struct-of-arrays snapshot lifecycle ---------------------------
     @property
@@ -1127,15 +1151,29 @@ class HybridTree:
         """Drop the attached snapshot (every mutation calls this)."""
         self._soa_snapshot = None
 
-    def session(self, pin_levels: int = 2, workers: int = 1, mode: str = "thread"):
+    def session(
+        self,
+        pin_levels: int = 2,
+        workers: int = 1,
+        mode: str = "thread",
+        timeout=None,
+        on_timeout: str = "raise",
+        admission=None,
+    ):
         """Open a :class:`repro.engine.QuerySession` pinning the hot upper
         ``pin_levels`` directory levels (each page charged once).  With
         ``workers > 1`` the session's batch queries run on a
         :class:`repro.engine.ParallelQueryEngine` over this tree's saved
-        file (requires the tree to come from ``save``/``open``)."""
+        file (requires the tree to come from ``save``/``open``).
+        ``timeout``/``on_timeout`` set session-default deadline semantics;
+        ``admission`` attaches a
+        :class:`~repro.resilience.QueryAdmissionController`."""
         from repro.engine import QuerySession
 
-        return QuerySession(self, pin_levels=pin_levels, workers=workers, mode=mode)
+        return QuerySession(
+            self, pin_levels=pin_levels, workers=workers, mode=mode,
+            timeout=timeout, on_timeout=on_timeout, admission=admission,
+        )
 
     # ------------------------------------------------------------------
     # Traversal-kernel protocol (repro.engine.kernel)

@@ -26,6 +26,14 @@ deterministic ``(distance, oid)`` total order.  (The one exception is
 approximate k-NN with ``approximation_factor > 0``, where pruning is
 heuristic and any traversal order is admissible.)
 
+Every batch entry point accepts ``timeout=`` (seconds, or a
+:class:`~repro.resilience.Deadline` carrying a :class:`CancelToken`) and
+``on_timeout`` — ``"raise"`` surfaces a typed
+:class:`~repro.resilience.QueryTimeoutError`, ``"partial"`` returns a
+:class:`~repro.resilience.PartialResult` envelope with the hits gathered
+before the budget expired and a per-query completion mask.  Metrics stay
+honest either way: pages touched before the deadline fired are billed.
+
 :class:`QuerySession` adds buffer management on top: it pins the hot upper
 levels of the directory once (charging each page a single read), so every
 query executed inside the session revisits the directory for free — the
@@ -48,6 +56,7 @@ from repro.engine.soa.kernel import (
     dispatch_range_search_many,
 )
 from repro.geometry.rect import Rect
+from repro.resilience import QueryAdmissionController
 
 __all__ = [
     "range_search_many",
@@ -61,7 +70,11 @@ __all__ = [
 # Box range queries
 # ----------------------------------------------------------------------
 def range_search_many(
-    tree, queries: Sequence[Rect], return_metrics: bool = False
+    tree,
+    queries: Sequence[Rect],
+    return_metrics: bool = False,
+    timeout=None,
+    on_timeout: str = "raise",
 ):
     """Execute many box range queries in one traversal.
 
@@ -72,7 +85,9 @@ def range_search_many(
     (:mod:`repro.engine.soa`), on the object-walk kernel otherwise —
     results are identical either way.
     """
-    return dispatch_range_search_many(tree, queries, return_metrics, "range-batch")
+    return dispatch_range_search_many(
+        tree, queries, return_metrics, "range-batch", timeout, on_timeout
+    )
 
 
 # ----------------------------------------------------------------------
@@ -84,6 +99,8 @@ def distance_range_many(
     radii,
     metric: Metric = L2,
     return_metrics: bool = False,
+    timeout=None,
+    on_timeout: str = "raise",
 ):
     """Execute many distance-range queries (one shared metric) in one pass.
 
@@ -91,7 +108,8 @@ def distance_range_many(
     looping ``tree.distance_range``.
     """
     return dispatch_distance_range_many(
-        tree, centers, radii, metric, return_metrics, "distance-batch"
+        tree, centers, radii, metric, return_metrics, "distance-batch",
+        timeout, on_timeout,
     )
 
 
@@ -105,6 +123,8 @@ def knn_many(
     metric: Metric = L2,
     approximation_factor: float = 0.0,
     return_metrics: bool = False,
+    timeout=None,
+    on_timeout: str = "raise",
 ):
     """Execute many k-NN queries in one shared branch-and-bound traversal.
 
@@ -115,7 +135,8 @@ def knn_many(
     ``tree.knn`` returns for every query.
     """
     return dispatch_knn_many(
-        tree, centers, k, metric, approximation_factor, return_metrics, "knn-batch"
+        tree, centers, k, metric, approximation_factor, return_metrics,
+        "knn-batch", timeout, on_timeout,
     )
 
 
@@ -145,6 +166,13 @@ class QuerySession:
     file, so in-memory mutations would silently be invisible to them;
     the constructor refuses rather than risking that.  Single-query
     methods and the pinned directory still use ``tree`` itself.
+
+    ``timeout`` sets a default wall-clock budget (seconds) applied to every
+    batch call that doesn't pass its own, with ``on_timeout`` selecting
+    raise-vs-partial semantics; ``admission`` attaches a
+    :class:`~repro.resilience.QueryAdmissionController` that rejects
+    over-budget batches with a typed ``AdmissionError`` before any work
+    starts.
     """
 
     def __init__(
@@ -154,12 +182,18 @@ class QuerySession:
         charge_pins: bool = True,
         workers: int = 1,
         mode: str = "thread",
+        timeout=None,
+        on_timeout: str = "raise",
+        admission: QueryAdmissionController | None = None,
     ):
         if pin_levels < 0:
             raise ValueError("pin_levels must be >= 0")
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.tree = tree
+        self.timeout = timeout
+        self.on_timeout = on_timeout
+        self.admission = admission
         self._parallel = None
         if workers > 1:
             from repro.engine.parallel import ParallelQueryEngine
@@ -187,7 +221,8 @@ class QuerySession:
                 # a WAL tree's committed log is replayed on each open.
                 source = tree.source_path
             self._parallel = ParallelQueryEngine(
-                source, workers=workers, mode=mode, stats=tree.io
+                source, workers=workers, mode=mode, stats=tree.io,
+                admission=admission,
             )
         self._pinned: list[int] = []
         frontier = [tree.root_id]
@@ -210,12 +245,13 @@ class QuerySession:
         return self._parallel.workers if self._parallel is not None else 1
 
     def close(self) -> None:
+        # Idempotent: a second close() finds nothing pinned and no engine.
         for node_id in self._pinned:
             self.tree.nm.unpin(node_id)
         self._pinned.clear()
         if self._parallel is not None:
-            self._parallel.close()
-            self._parallel = None
+            parallel, self._parallel = self._parallel, None
+            parallel.close()
 
     def __enter__(self) -> "QuerySession":
         return self
@@ -224,19 +260,50 @@ class QuerySession:
         self.close()
 
     # -- queries -------------------------------------------------------
-    def range_search_many(self, queries, return_metrics: bool = False):
+    def _resolve(self, timeout, on_timeout):
+        if timeout is None:
+            timeout = self.timeout
+        if on_timeout is None:
+            on_timeout = self.on_timeout
+        return timeout, on_timeout
+
+    def _admit(self, n_queries: int):
+        if self.admission is None or self._parallel is not None:
+            # Parallel engines run their own admission (same controller,
+            # handed over in the constructor) — don't double-count.
+            return _NULL_TICKET
+        return self.admission.admit(n_queries, self.tree.dims)
+
+    def range_search_many(
+        self, queries, return_metrics: bool = False,
+        timeout=None, on_timeout: str | None = None,
+    ):
+        timeout, on_timeout = self._resolve(timeout, on_timeout)
         if self._parallel is not None:
-            return self._parallel.range_search_many(queries, return_metrics)
-        return range_search_many(self.tree, queries, return_metrics)
+            return self._parallel.range_search_many(
+                queries, return_metrics, timeout=timeout, on_timeout=on_timeout
+            )
+        queries = list(queries)
+        with self._admit(len(queries)):
+            return range_search_many(
+                self.tree, queries, return_metrics, timeout, on_timeout
+            )
 
     def distance_range_many(
-        self, centers, radii, metric: Metric = L2, return_metrics: bool = False
+        self, centers, radii, metric: Metric = L2, return_metrics: bool = False,
+        timeout=None, on_timeout: str | None = None,
     ):
+        timeout, on_timeout = self._resolve(timeout, on_timeout)
         if self._parallel is not None:
             return self._parallel.distance_range_many(
-                centers, radii, metric, return_metrics
+                centers, radii, metric, return_metrics,
+                timeout=timeout, on_timeout=on_timeout,
             )
-        return distance_range_many(self.tree, centers, radii, metric, return_metrics)
+        qs = _as_query_matrix(centers, self.tree.dims)
+        with self._admit(qs.shape[0]):
+            return distance_range_many(
+                self.tree, qs, radii, metric, return_metrics, timeout, on_timeout
+            )
 
     def knn_many(
         self,
@@ -245,14 +312,21 @@ class QuerySession:
         metric: Metric = L2,
         approximation_factor: float = 0.0,
         return_metrics: bool = False,
+        timeout=None,
+        on_timeout: str | None = None,
     ):
+        timeout, on_timeout = self._resolve(timeout, on_timeout)
         if self._parallel is not None:
             return self._parallel.knn_many(
-                centers, k, metric, approximation_factor, return_metrics
+                centers, k, metric, approximation_factor, return_metrics,
+                timeout=timeout, on_timeout=on_timeout,
             )
-        return knn_many(
-            self.tree, centers, k, metric, approximation_factor, return_metrics
-        )
+        qs = _as_query_matrix(centers, self.tree.dims)
+        with self._admit(qs.shape[0]):
+            return knn_many(
+                self.tree, qs, k, metric, approximation_factor, return_metrics,
+                timeout, on_timeout,
+            )
 
     def range_search(self, query: Rect) -> list[int]:
         return self.tree.range_search(query)
@@ -262,3 +336,19 @@ class QuerySession:
 
     def knn(self, center, k: int, metric: Metric = L2, **kwargs):
         return self.tree.knn(center, k, metric, **kwargs)
+
+
+class _NullTicket:
+    """Stand-in admission ticket when no controller is attached."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return None
+
+    def release(self) -> None:
+        return None
+
+
+_NULL_TICKET = _NullTicket()

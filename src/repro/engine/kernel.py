@@ -53,6 +53,17 @@ methods: leaves are scanned with the same per-query numpy kernels in the
 same visit order, the batch bound predicates perform the same float
 operations row-wise as their scalar forms, and k-NN selection uses the
 deterministic ``(distance, oid)`` total order everywhere.
+
+Every kernel accepts a :class:`repro.resilience.Deadline` and checks it at
+node-visit granularity: an expired budget raises
+:class:`~repro.resilience.QueryTimeoutError` (or, under
+``on_timeout="partial"``, returns a
+:class:`~repro.resilience.PartialResult` carrying the hits accumulated
+before the deadline fired, with honest metrics for the work actually
+done).  The deadline is also installed as the ambient
+:func:`~repro.resilience.deadline_scope`, so the layers below — the
+``NodeManager`` retry loop, the degraded sequential scan — spend from the
+same budget.
 """
 
 from __future__ import annotations
@@ -65,6 +76,12 @@ import numpy as np
 from repro.distances import L2, Metric, mindist_rect_many
 from repro.engine.metrics import BatchMetrics
 from repro.geometry.rect import Rect
+from repro.resilience import (
+    Deadline,
+    PartialResult,
+    QueryTimeoutError,
+    deadline_scope,
+)
 from repro.storage.errors import PageCorruptionError
 
 __all__ = [
@@ -142,6 +159,24 @@ def _reads(io) -> int:
     return io.random_reads + io.sequential_reads
 
 
+def check_on_timeout(on_timeout: str) -> None:
+    """Validate the ``on_timeout`` policy argument at the API boundary."""
+    if on_timeout not in ("raise", "partial"):
+        raise ValueError('on_timeout must be "raise" or "partial"')
+
+
+def _wrap_partial(out, err: QueryTimeoutError | None, n: int):
+    """Under ``on_timeout="partial"``, envelope a timed-out batch's output.
+
+    Kernel-granularity timeouts are conservative: the traversal stopped
+    mid-flight, so *no* query can be certified complete even though the
+    accumulated hits per query are real.
+    """
+    if err is None:
+        return out
+    return PartialResult(out, np.zeros(n, dtype=bool), err)
+
+
 def _finish(results, visits, index, start, reads0, return_metrics, label):
     if not return_metrics:
         return results
@@ -185,15 +220,23 @@ def _dedup_filter(index, scanned: dict, ref, alive: np.ndarray, n: int) -> np.nd
 # Box range queries
 # ----------------------------------------------------------------------
 def kernel_range_search_many(
-    index, queries, return_metrics: bool = False, label: str = "range-batch"
+    index,
+    queries,
+    return_metrics: bool = False,
+    label: str = "range-batch",
+    deadline: Deadline | None = None,
+    on_timeout: str = "raise",
 ):
     """Execute many box range queries in one structure-agnostic traversal.
 
     Returns one oid list per query (bit-identical to looping the index's
     single-query ``range_search``); with ``return_metrics=True`` also a
-    :class:`BatchMetrics`.
+    :class:`BatchMetrics`.  ``deadline`` bounds the traversal; on expiry
+    the call raises :class:`QueryTimeoutError` or — under
+    ``on_timeout="partial"`` — returns a :class:`PartialResult`.
     """
     start = time.perf_counter()
+    check_on_timeout(on_timeout)
     reads0 = _reads(index.io)
     if not getattr(index, "trav_supports_box", True):
         raise TypeError(
@@ -217,6 +260,8 @@ def kernel_range_search_many(
     fetch = _make_fetch(index, charged)
 
     def visit(ref, ctx, alive: np.ndarray) -> None:
+        if deadline is not None:
+            deadline.check()
         node = fetch(ref)
         visits[alive] += 1
         if index.trav_is_leaf(node):
@@ -239,19 +284,32 @@ def kernel_range_search_many(
 
     root_ref, root_ctx = index.trav_root()
     degrade = getattr(index, "trav_degrade", None)
+    err = None
+    scan_out = None
     try:
-        visit(root_ref, root_ctx, np.arange(n))
-    except PageCorruptionError as exc:
-        # Same policy as the single-query path: ``on_corruption="scan"``
-        # answers the whole batch from one sequential scan.
-        if degrade is None:
+        with deadline_scope(deadline):
+            try:
+                visit(root_ref, root_ctx, np.arange(n))
+            except PageCorruptionError as exc:
+                # Same policy as the single-query path: ``on_corruption=
+                # "scan"`` answers the whole batch from one sequential scan
+                # (still under the deadline — see ``_scan_entries``).
+                if degrade is None:
+                    raise
+                vectors, oids = degrade(exc)
+                inside = Rect.boxes_contain_points_mask(lows, highs, vectors)
+                scan_out = [[int(o) for o in oids[row]] for row in inside]
+    except QueryTimeoutError as exc:
+        if on_timeout != "partial":
             raise
-        vectors, oids = degrade(exc)
-        inside = Rect.boxes_contain_points_mask(lows, highs, vectors)
-        out = [[int(o) for o in oids[row]] for row in inside]
+        err = exc
+    if scan_out is not None:
+        out = scan_out
     else:
         out = [[int(o) for arr in per_query for o in arr] for per_query in results]
-    return _finish(out, visits, index, start, reads0, return_metrics, label)
+    return _finish(
+        _wrap_partial(out, err, n), visits, index, start, reads0, return_metrics, label
+    )
 
 
 # ----------------------------------------------------------------------
@@ -264,13 +322,17 @@ def kernel_distance_range_many(
     metric: Metric = L2,
     return_metrics: bool = False,
     label: str = "distance-batch",
+    deadline: Deadline | None = None,
+    on_timeout: str = "raise",
 ):
     """Execute many distance-range queries (one shared metric) in one pass.
 
     ``radii`` may be a scalar or one radius per query.  Bit-identical to
-    looping the index's single-query ``distance_range``.
+    looping the index's single-query ``distance_range``.  ``deadline`` /
+    ``on_timeout`` behave as in :func:`kernel_range_search_many`.
     """
     start = time.perf_counter()
+    check_on_timeout(on_timeout)
     reads0 = _reads(index.io)
     check = getattr(index, "trav_check_metric", None)
     if check is not None:
@@ -287,6 +349,8 @@ def kernel_distance_range_many(
     fetch = _make_fetch(index, charged)
 
     def visit(ref, ctx, alive: np.ndarray) -> None:
+        if deadline is not None:
+            deadline.check()
         node = fetch(ref)
         visits[alive] += 1
         if index.trav_is_leaf(node):
@@ -308,23 +372,34 @@ def kernel_distance_range_many(
 
     root_ref, root_ctx = index.trav_root()
     degrade = getattr(index, "trav_degrade", None)
+    err = None
     try:
-        visit(root_ref, root_ctx, np.arange(n))
-    except PageCorruptionError as exc:
-        if degrade is None:
+        with deadline_scope(deadline):
+            try:
+                visit(root_ref, root_ctx, np.arange(n))
+            except PageCorruptionError as exc:
+                if degrade is None:
+                    raise
+                vectors, oids = degrade(exc)
+                points64 = vectors.astype(np.float64)
+                out = []
+                for qi in range(n):
+                    dists = metric.distance_batch(points64, qs[qi])
+                    out.append(
+                        [
+                            (int(oids[i]), float(dists[i]))
+                            for i in np.flatnonzero(dists <= radii[qi])
+                        ]
+                    )
+    except QueryTimeoutError as exc:
+        if on_timeout != "partial":
             raise
-        vectors, oids = degrade(exc)
-        points64 = vectors.astype(np.float64)
-        out = []
-        for qi in range(n):
-            dists = metric.distance_batch(points64, qs[qi])
-            out.append(
-                [
-                    (int(oids[i]), float(dists[i]))
-                    for i in np.flatnonzero(dists <= radii[qi])
-                ]
-            )
-    return _finish(out, visits, index, start, reads0, return_metrics, label)
+        err = exc
+        while len(out) < n:  # degraded scan interrupted mid-rebuild
+            out.append([])
+    return _finish(
+        _wrap_partial(out, err, n), visits, index, start, reads0, return_metrics, label
+    )
 
 
 # ----------------------------------------------------------------------
@@ -338,6 +413,8 @@ def kernel_knn_many(
     approximation_factor: float = 0.0,
     return_metrics: bool = False,
     label: str = "knn-batch",
+    deadline: Deadline | None = None,
+    on_timeout: str = "raise",
 ):
     """Execute many k-NN queries in one shared branch-and-bound traversal.
 
@@ -345,9 +422,12 @@ def kernel_knn_many(
     set (a batch analogue of best-first), and each query prunes with its own
     current kth distance under the deterministic ``(distance, oid)`` order —
     so for ``approximation_factor == 0`` every query's result is the exact
-    k smallest entries under that total order.
+    k smallest entries under that total order.  ``deadline`` / ``on_timeout``
+    behave as in :func:`kernel_range_search_many`; a partial k-NN result
+    holds each query's best candidates found so far.
     """
     start = time.perf_counter()
+    check_on_timeout(on_timeout)
     reads0 = _reads(index.io)
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -369,6 +449,8 @@ def kernel_knn_many(
     fetch = _make_fetch(index, charged)
 
     def visit(ref, ctx, alive: np.ndarray) -> None:
+        if deadline is not None:
+            deadline.check()
         node = fetch(ref)
         visits[alive] += 1
         if index.trav_is_leaf(node):
@@ -406,18 +488,33 @@ def kernel_knn_many(
 
     root_ref, root_ctx = index.trav_root()
     degrade = getattr(index, "trav_degrade", None)
+    err = None
+    scan_out = None
     try:
-        visit(root_ref, root_ctx, np.arange(n))
-    except PageCorruptionError as exc:
-        if degrade is None:
+        with deadline_scope(deadline):
+            try:
+                visit(root_ref, root_ctx, np.arange(n))
+            except PageCorruptionError as exc:
+                if degrade is None:
+                    raise
+                vectors, oids = degrade(exc)
+                points64 = vectors.astype(np.float64)
+                scan_out = []
+                for qi in range(n):
+                    dists = metric.distance_batch(points64, qs[qi])
+                    order = np.lexsort((oids, dists))[:k]
+                    scan_out.append(
+                        [(int(oids[i]), float(dists[i])) for i in order]
+                    )
+    except QueryTimeoutError as exc:
+        if on_timeout != "partial":
             raise
-        vectors, oids = degrade(exc)
-        points64 = vectors.astype(np.float64)
-        out = []
-        for qi in range(n):
-            dists = metric.distance_batch(points64, qs[qi])
-            order = np.lexsort((oids, dists))[:k]
-            out.append([(int(oids[i]), float(dists[i])) for i in order])
+        err = exc
+        if scan_out is not None:
+            while len(scan_out) < n:  # degraded scan interrupted mid-rebuild
+                scan_out.append([])
+    if scan_out is not None:
+        out = scan_out
     else:
         out = [
             sorted(
@@ -426,4 +523,6 @@ def kernel_knn_many(
             )
             for best in heaps
         ]
-    return _finish(out, visits, index, start, reads0, return_metrics, label)
+    return _finish(
+        _wrap_partial(out, err, n), visits, index, start, reads0, return_metrics, label
+    )

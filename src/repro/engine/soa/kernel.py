@@ -42,7 +42,14 @@ import time
 import numpy as np
 
 from repro.distances import L2, LpMetric, Metric, WeightedEuclidean, mindist_rect_many
-from repro.engine.kernel import _as_query_matrix, _finish, _reads
+from repro.engine.kernel import (
+    _as_query_matrix,
+    _finish,
+    _reads,
+    _wrap_partial,
+    check_on_timeout,
+)
+from repro.resilience import Deadline, QueryTimeoutError
 from repro.storage.iostats import AccessKind
 
 __all__ = [
@@ -59,16 +66,26 @@ __all__ = [
 # Dispatch: snapshot attached -> vectorized path, else object walk
 # ----------------------------------------------------------------------
 def dispatch_range_search_many(
-    index, queries, return_metrics: bool = False, label: str = "range-batch"
+    index,
+    queries,
+    return_metrics: bool = False,
+    label: str = "range-batch",
+    timeout=None,
+    on_timeout: str = "raise",
 ):
     from repro.engine.soa.snapshot import active_snapshot
 
+    deadline = Deadline.coerce(timeout)
     snap = active_snapshot(index)
     if snap is not None:
-        return soa_range_search_many(index, snap, queries, return_metrics, label)
+        return soa_range_search_many(
+            index, snap, queries, return_metrics, label, deadline, on_timeout
+        )
     from repro.engine.kernel import kernel_range_search_many
 
-    return kernel_range_search_many(index, queries, return_metrics, label)
+    return kernel_range_search_many(
+        index, queries, return_metrics, label, deadline, on_timeout
+    )
 
 
 def dispatch_distance_range_many(
@@ -78,18 +95,22 @@ def dispatch_distance_range_many(
     metric: Metric = L2,
     return_metrics: bool = False,
     label: str = "distance-batch",
+    timeout=None,
+    on_timeout: str = "raise",
 ):
     from repro.engine.soa.snapshot import active_snapshot
 
+    deadline = Deadline.coerce(timeout)
     snap = active_snapshot(index)
     if snap is not None:
         return soa_distance_range_many(
-            index, snap, centers, radii, metric, return_metrics, label
+            index, snap, centers, radii, metric, return_metrics, label,
+            deadline, on_timeout,
         )
     from repro.engine.kernel import kernel_distance_range_many
 
     return kernel_distance_range_many(
-        index, centers, radii, metric, return_metrics, label
+        index, centers, radii, metric, return_metrics, label, deadline, on_timeout
     )
 
 
@@ -101,18 +122,23 @@ def dispatch_knn_many(
     approximation_factor: float = 0.0,
     return_metrics: bool = False,
     label: str = "knn-batch",
+    timeout=None,
+    on_timeout: str = "raise",
 ):
     from repro.engine.soa.snapshot import active_snapshot
 
+    deadline = Deadline.coerce(timeout)
     snap = active_snapshot(index)
     if snap is not None:
         return soa_knn_many(
-            index, snap, centers, k, metric, approximation_factor, return_metrics, label
+            index, snap, centers, k, metric, approximation_factor, return_metrics,
+            label, deadline, on_timeout,
         )
     from repro.engine.kernel import kernel_knn_many
 
     return kernel_knn_many(
-        index, centers, k, metric, approximation_factor, return_metrics, label
+        index, centers, k, metric, approximation_factor, return_metrics, label,
+        deadline, on_timeout,
     )
 
 
@@ -322,21 +348,29 @@ class _PairBounds:
 # ----------------------------------------------------------------------
 # Level-synchronous frontier (range / distance queries)
 # ----------------------------------------------------------------------
-def _run_frontier(snap, n: int, visits: np.ndarray, pair_pred):
+def _run_frontier(snap, n: int, visits: np.ndarray, pair_pred, deadline=None,
+                  visited: np.ndarray | None = None):
     """Descend all queries at once; returns the reached leaf pairs.
 
     ``pair_pred(e, q) -> bool mask`` decides which ``(edge, query)`` pairs
     survive.  Leaf pairs come back deduplicated (for dedup structures, the
     query's first occurrence in DFS order — the occurrence the object
-    kernel scans) and sorted by ``(occurrence, query)``.
+    kernel scans) and sorted by ``(occurrence, query)``.  ``deadline`` is
+    checked once per frontier round — each round is one batched level of
+    array work, the natural cooperative-cancellation grain here.  The
+    caller may supply the ``visited`` page-mask so a mid-frontier timeout
+    still bills the pages actually touched.
     """
     nodes = np.zeros(n, dtype=np.int64)
     qs_idx = np.arange(n, dtype=np.int64)
-    visited = np.zeros(snap.n_nodes, dtype=bool)
+    if visited is None:
+        visited = np.zeros(snap.n_nodes, dtype=bool)
     leaf_occ_parts: list[np.ndarray] = []
     leaf_q_parts: list[np.ndarray] = []
     cs = snap.child_start
     while nodes.size:
+        if deadline is not None:
+            deadline.check()
         visits += np.bincount(qs_idx, minlength=n)
         visited[nodes] = True
         is_leaf = snap.node_is_leaf[nodes]
@@ -445,10 +479,17 @@ def _group_hits_by_query(hq: np.ndarray, parts: list[np.ndarray]):
 # Box range queries
 # ----------------------------------------------------------------------
 def soa_range_search_many(
-    index, snap, queries, return_metrics: bool = False, label: str = "range-batch"
+    index,
+    snap,
+    queries,
+    return_metrics: bool = False,
+    label: str = "range-batch",
+    deadline: Deadline | None = None,
+    on_timeout: str = "raise",
 ):
     """Vectorized form of :func:`repro.engine.kernel.kernel_range_search_many`."""
     start = time.perf_counter()
+    check_on_timeout(on_timeout)
     reads0 = _reads(index.io)
     if not snap.supports_box:
         raise TypeError(
@@ -469,56 +510,68 @@ def soa_range_search_many(
     pred = _PairBounds(snap)
 
     q32 = _conservative_query_f32(lows, highs) if pred._rectlike else None
-    occ, lq, visited = _run_frontier(
-        snap, n, visits, lambda e, q: pred.box_mask(e, q, lows, highs, q32)
-    )
-    # Leaf scan in three exact stages (containment is pure comparison, so
-    # any evaluation order yields the same hit set as the object kernel's
-    # per-leaf ``Rect.boxes_contain_points_mask``):
-    #  1. dim 0 by rank: each leaf keeps its points presorted on the first
-    #     coordinate, so a query's window is two binary searches — most
-    #     points are never touched;
-    #  2. a conservative float32 prefilter over the remaining dims;
-    #  3. the exact float64 comparisons on the prefilter's survivors.
-    # Hits are restored to the object walk's output order — per query, by
-    # leaf occurrence in DFS order, then point order — with one lexsort.
-    perm, scol = snap.leaf_sort0()
-    lo32, hi32 = q32 if q32 is not None else _conservative_query_f32(lows, highs)
-    s_arr, e_arr = snap.leaf_start[occ], snap.leaf_end[occ]
-    nz = e_arr > s_arr
-    pocc, palive, s_arr, sizes = occ[nz], lq[nz], s_arr[nz], (e_arr - s_arr)[nz]
     out: list[list[int]] = [[] for _ in range(n)]
-    if pocc.size:
-        win_lo, win_hi = _bisect_windows(
-            scol, s_arr, sizes, lows[palive, 0], highs[palive, 0]
+    visited = np.zeros(snap.n_nodes, dtype=bool)
+    err = None
+    try:
+        occ, lq, _ = _run_frontier(
+            snap, n, visits,
+            lambda e, q: pred.box_mask(e, q, lows, highs, q32), deadline, visited,
         )
-        m = win_hi - win_lo
-        live = np.flatnonzero(m > 0)
-        pos = np.repeat(s_arr[live] + win_lo[live], m[live]) + _concat_ranges(m[live])
-        pidx = perm[pos]
-        qrow = np.repeat(palive[live], m[live])
-        hocc = np.repeat(pocc[live], m[live])
-        rest32 = snap.points[pidx, 1:]
-        keep = np.flatnonzero(
-            np.all(
-                (rest32 >= lo32[qrow, 1:]) & (rest32 <= hi32[qrow, 1:]), axis=1
+        if deadline is not None:
+            deadline.check()
+        # Leaf scan in three exact stages (containment is pure comparison, so
+        # any evaluation order yields the same hit set as the object kernel's
+        # per-leaf ``Rect.boxes_contain_points_mask``):
+        #  1. dim 0 by rank: each leaf keeps its points presorted on the first
+        #     coordinate, so a query's window is two binary searches — most
+        #     points are never touched;
+        #  2. a conservative float32 prefilter over the remaining dims;
+        #  3. the exact float64 comparisons on the prefilter's survivors.
+        # Hits are restored to the object walk's output order — per query, by
+        # leaf occurrence in DFS order, then point order — with one lexsort.
+        perm, scol = snap.leaf_sort0()
+        lo32, hi32 = q32 if q32 is not None else _conservative_query_f32(lows, highs)
+        s_arr, e_arr = snap.leaf_start[occ], snap.leaf_end[occ]
+        nz = e_arr > s_arr
+        pocc, palive, s_arr, sizes = occ[nz], lq[nz], s_arr[nz], (e_arr - s_arr)[nz]
+        if pocc.size:
+            win_lo, win_hi = _bisect_windows(
+                scol, s_arr, sizes, lows[palive, 0], highs[palive, 0]
             )
-        )
-        pidx, qrow, hocc = pidx[keep], qrow[keep], hocc[keep]
-        rest64 = snap.points64[pidx, 1:]
-        exact = np.all(
-            (rest64 >= lows[qrow, 1:]) & (rest64 <= highs[qrow, 1:]), axis=1
-        )
-        pidx, qrow, hocc = pidx[exact], qrow[exact], hocc[exact]
-        order = np.lexsort((pidx, hocc, qrow))
-        hq, ho = qrow[order], snap.oids[pidx[order]]
-        bounds = np.flatnonzero(np.diff(hq)) + 1
-        for qi, seg_o in zip(
-            np.concatenate((hq[:1], hq[bounds])), np.split(ho, bounds)
-        ):
-            out[int(qi)] = seg_o.tolist()
+            m = win_hi - win_lo
+            live = np.flatnonzero(m > 0)
+            pos = np.repeat(s_arr[live] + win_lo[live], m[live]) + _concat_ranges(m[live])
+            pidx = perm[pos]
+            qrow = np.repeat(palive[live], m[live])
+            hocc = np.repeat(pocc[live], m[live])
+            rest32 = snap.points[pidx, 1:]
+            keep = np.flatnonzero(
+                np.all(
+                    (rest32 >= lo32[qrow, 1:]) & (rest32 <= hi32[qrow, 1:]), axis=1
+                )
+            )
+            pidx, qrow, hocc = pidx[keep], qrow[keep], hocc[keep]
+            rest64 = snap.points64[pidx, 1:]
+            exact = np.all(
+                (rest64 >= lows[qrow, 1:]) & (rest64 <= highs[qrow, 1:]), axis=1
+            )
+            pidx, qrow, hocc = pidx[exact], qrow[exact], hocc[exact]
+            order = np.lexsort((pidx, hocc, qrow))
+            hq, ho = qrow[order], snap.oids[pidx[order]]
+            bounds = np.flatnonzero(np.diff(hq)) + 1
+            for qi, seg_o in zip(
+                np.concatenate((hq[:1], hq[bounds])), np.split(ho, bounds)
+            ):
+                out[int(qi)] = seg_o.tolist()
+    except QueryTimeoutError as exc:
+        if on_timeout != "partial":
+            raise
+        err = exc
     _charge_visited(index, snap, visited)
-    return _finish(out, visits, index, start, reads0, return_metrics, label)
+    return _finish(
+        _wrap_partial(out, err, n), visits, index, start, reads0, return_metrics, label
+    )
 
 
 # ----------------------------------------------------------------------
@@ -532,9 +585,12 @@ def soa_distance_range_many(
     metric: Metric = L2,
     return_metrics: bool = False,
     label: str = "distance-batch",
+    deadline: Deadline | None = None,
+    on_timeout: str = "raise",
 ):
     """Vectorized form of :func:`repro.engine.kernel.kernel_distance_range_many`."""
     start = time.perf_counter()
+    check_on_timeout(on_timeout)
     reads0 = _reads(index.io)
     check = getattr(index, "trav_check_metric", None)
     if check is not None:
@@ -547,57 +603,74 @@ def soa_distance_range_many(
     visits = np.zeros(n, dtype=np.int64)
     pred = _PairBounds(snap, metric)
 
-    occ, lq, visited = _run_frontier(
-        snap, n, visits, lambda e, q: pred.distance_mask(e, q, qs, radii)
-    )
     out: list[list[tuple[int, float]]] = [[] for _ in range(n)]
-    if isinstance(metric, (LpMetric, WeightedEuclidean)):
-        # These metrics' ``distance_batch`` is a row-wise abs/clip-free
-        # difference plus an ``axis=1`` reduction — per-row results don't
-        # depend on which other rows ride along, so one flat evaluation
-        # over every (leaf, query, point) row is bit-identical to the
-        # object kernel's per-leaf calls.
-        hit_q: list[np.ndarray] = []
-        hit_o: list[np.ndarray] = []
-        hit_d: list[np.ndarray] = []
-        for pidx, qrow in _pair_point_rows(snap, occ, lq):
-            diff = snap.points64[pidx] - qs[qrow]
-            if isinstance(metric, WeightedEuclidean):
-                dists = np.sqrt((metric.weights * diff * diff).sum(axis=1))
-            else:
-                diff = np.abs(diff)
-                if np.isinf(metric.p):
-                    dists = diff.max(axis=1)
-                elif metric.p == 1.0:
-                    dists = diff.sum(axis=1)
-                elif metric.p == 2.0:
-                    dists = np.sqrt((diff * diff).sum(axis=1))
+    visited = np.zeros(snap.n_nodes, dtype=bool)
+    # Hit accumulators live outside the try so a mid-scan timeout can still
+    # salvage the blocks already evaluated into the partial envelope.
+    hit_q: list[np.ndarray] = []
+    hit_o: list[np.ndarray] = []
+    hit_d: list[np.ndarray] = []
+    err = None
+    try:
+        occ, lq, _ = _run_frontier(
+            snap, n, visits,
+            lambda e, q: pred.distance_mask(e, q, qs, radii), deadline, visited,
+        )
+        if isinstance(metric, (LpMetric, WeightedEuclidean)):
+            # These metrics' ``distance_batch`` is a row-wise abs/clip-free
+            # difference plus an ``axis=1`` reduction — per-row results don't
+            # depend on which other rows ride along, so one flat evaluation
+            # over every (leaf, query, point) row is bit-identical to the
+            # object kernel's per-leaf calls.
+            for pidx, qrow in _pair_point_rows(snap, occ, lq):
+                if deadline is not None:
+                    deadline.check()
+                diff = snap.points64[pidx] - qs[qrow]
+                if isinstance(metric, WeightedEuclidean):
+                    dists = np.sqrt((metric.weights * diff * diff).sum(axis=1))
                 else:
-                    dists = (diff ** metric.p).sum(axis=1) ** (1.0 / metric.p)
-            hits = np.flatnonzero(dists <= radii[qrow])
-            if hits.size:
-                hit_q.append(qrow[hits])
-                hit_o.append(snap.oids[pidx[hits]])
-                hit_d.append(dists[hits])
-        if hit_q:
-            for qi, (oid_seg, d_seg) in _group_hits_by_query(
-                np.concatenate(hit_q), [np.concatenate(hit_o), np.concatenate(hit_d)]
-            ):
-                out[qi] = list(zip(oid_seg.tolist(), d_seg.tolist()))
-    else:
-        # Quadratic-form / user metrics have no mirrored batch form:
-        # replay the object kernel's per-leaf scans verbatim.
-        for node, alive in _leaf_groups(occ, lq):
-            s, e = snap.leaf_start[node], snap.leaf_end[node]
-            if e > s:
-                points64 = snap.points64[s:e]
-                oids = snap.oids[s:e]
-                for qi in alive:
-                    dists = metric.distance_batch(points64, qs[qi])
-                    for i in np.flatnonzero(dists <= radii[qi]):
-                        out[qi].append((int(oids[i]), float(dists[i])))
+                    diff = np.abs(diff)
+                    if np.isinf(metric.p):
+                        dists = diff.max(axis=1)
+                    elif metric.p == 1.0:
+                        dists = diff.sum(axis=1)
+                    elif metric.p == 2.0:
+                        dists = np.sqrt((diff * diff).sum(axis=1))
+                    else:
+                        dists = (diff ** metric.p).sum(axis=1) ** (1.0 / metric.p)
+                hits = np.flatnonzero(dists <= radii[qrow])
+                if hits.size:
+                    hit_q.append(qrow[hits])
+                    hit_o.append(snap.oids[pidx[hits]])
+                    hit_d.append(dists[hits])
+        else:
+            # Quadratic-form / user metrics have no mirrored batch form:
+            # replay the object kernel's per-leaf scans verbatim.
+            for node, alive in _leaf_groups(occ, lq):
+                if deadline is not None:
+                    deadline.check()
+                s, e = snap.leaf_start[node], snap.leaf_end[node]
+                if e > s:
+                    points64 = snap.points64[s:e]
+                    oids = snap.oids[s:e]
+                    for qi in alive:
+                        dists = metric.distance_batch(points64, qs[qi])
+                        for i in np.flatnonzero(dists <= radii[qi]):
+                            out[qi].append((int(oids[i]), float(dists[i])))
+    except QueryTimeoutError as exc:
+        if on_timeout != "partial":
+            raise
+        err = exc
+    if hit_q:
+        for qi, (oid_seg, d_seg) in _group_hits_by_query(
+            np.concatenate(hit_q),
+            [np.concatenate(hit_o), np.concatenate(hit_d)],
+        ):
+            out[qi] = list(zip(oid_seg.tolist(), d_seg.tolist()))
     _charge_visited(index, snap, visited)
-    return _finish(out, visits, index, start, reads0, return_metrics, label)
+    return _finish(
+        _wrap_partial(out, err, n), visits, index, start, reads0, return_metrics, label
+    )
 
 
 # ----------------------------------------------------------------------
@@ -612,6 +685,8 @@ def soa_knn_many(
     approximation_factor: float = 0.0,
     return_metrics: bool = False,
     label: str = "knn-batch",
+    deadline: Deadline | None = None,
+    on_timeout: str = "raise",
 ):
     """Vectorized form of :func:`repro.engine.kernel.kernel_knn_many`.
 
@@ -621,6 +696,7 @@ def soa_knn_many(
     ``(distance, oid)`` total order — is identical.
     """
     start = time.perf_counter()
+    check_on_timeout(on_timeout)
     reads0 = _reads(index.io)
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -644,95 +720,114 @@ def soa_knn_many(
 
     # Stack entries: (node, alive, bounds-at-push); bounds None for the root.
     stack: list[tuple] = [(0, np.arange(n, dtype=np.int64), None)]
-    while stack:
-        node, alive, bnds = stack.pop()
-        if bnds is not None:
-            # Re-filter against the *current* kth: earlier siblings may
-            # have tightened it since the bounds were computed.
-            alive = alive[bnds <= kth[alive] * shrink]
-            if not alive.size:
-                continue
-        visits[alive] += 1
-        visited[node] = True
-        s, e = snap.leaf_start[node], snap.leaf_end[node]
-        if snap.node_is_leaf[node]:
-            if snap.dedup:
-                ref = int(snap.node_ref[node])
-                done = scanned.get(ref)
-                if done is None:
-                    done = scanned[ref] = np.zeros(n, dtype=bool)
-                alive = alive[~done[alive]]
+
+    err = None
+    try:
+        while stack:
+            if deadline is not None:
+                deadline.check()
+            node, alive, bnds = stack.pop()
+            if bnds is not None:
+                # Re-filter against the *current* kth: earlier siblings may
+                # have tightened it since the bounds were computed.
+                alive = alive[bnds <= kth[alive] * shrink]
                 if not alive.size:
                     continue
-                done[alive] = True
-            if e <= s:
-                continue
-            points64 = snap.points64[s:e]
-            oids = snap.oids[s:e]
-            if pred._vec_metric:
-                # One 3-d broadcast computes the leaf's distances for every
-                # alive query: the axis-2 reductions run per row exactly as
-                # ``distance_batch``'s axis-1 reductions do, so each row is
-                # bit-identical to the per-query call.  ``kth`` is inf
-                # until a query's result set fills, so the candidate mask
-                # reproduces the object kernel's take-all-then-prefilter.
-                diff = points64[None, :, :] - qs[alive][:, None, :]
-                if isinstance(metric, WeightedEuclidean):
-                    dmat = np.sqrt((metric.weights * diff * diff).sum(axis=2))
-                else:
-                    diff = np.abs(diff)
-                    if np.isinf(metric.p):
-                        dmat = diff.max(axis=2)
-                    elif metric.p == 1.0:
-                        dmat = diff.sum(axis=2)
-                    elif metric.p == 2.0:
-                        dmat = np.sqrt((diff * diff).sum(axis=2))
+            visits[alive] += 1
+            visited[node] = True
+            s, e = snap.leaf_start[node], snap.leaf_end[node]
+            if snap.node_is_leaf[node]:
+                if snap.dedup:
+                    ref = int(snap.node_ref[node])
+                    done = scanned.get(ref)
+                    if done is None:
+                        done = scanned[ref] = np.zeros(n, dtype=bool)
+                    alive = alive[~done[alive]]
+                    if not alive.size:
+                        continue
+                    done[alive] = True
+                if e <= s:
+                    continue
+                points64 = snap.points64[s:e]
+                oids = snap.oids[s:e]
+                if pred._vec_metric:
+                    # One 3-d broadcast computes the leaf's distances for
+                    # every alive query: the axis-2 reductions run per row
+                    # exactly as ``distance_batch``'s axis-1 reductions do,
+                    # so each row is bit-identical to the per-query call.
+                    # ``kth`` is inf until a query's result set fills, so the
+                    # candidate mask reproduces the object kernel's
+                    # take-all-then-prefilter.
+                    diff = points64[None, :, :] - qs[alive][:, None, :]
+                    if isinstance(metric, WeightedEuclidean):
+                        dmat = np.sqrt(
+                            (metric.weights * diff * diff).sum(axis=2)
+                        )
                     else:
-                        dmat = (diff ** metric.p).sum(axis=2) ** (1.0 / metric.p)
-                cand_mask = dmat <= kth[alive][:, None]
-                for row in np.flatnonzero(cand_mask.any(axis=1)):
-                    qi = alive[row]
-                    keep = cand_mask[row]
-                    d_all = np.concatenate((best_d[qi], dmat[row][keep]))
-                    o_all = np.concatenate((best_o[qi], oids[keep]))
+                        diff = np.abs(diff)
+                        if np.isinf(metric.p):
+                            dmat = diff.max(axis=2)
+                        elif metric.p == 1.0:
+                            dmat = diff.sum(axis=2)
+                        elif metric.p == 2.0:
+                            dmat = np.sqrt((diff * diff).sum(axis=2))
+                        else:
+                            dmat = (diff ** metric.p).sum(axis=2) ** (
+                                1.0 / metric.p
+                            )
+                    cand_mask = dmat <= kth[alive][:, None]
+                    for row in np.flatnonzero(cand_mask.any(axis=1)):
+                        qi = alive[row]
+                        keep = cand_mask[row]
+                        d_all = np.concatenate((best_d[qi], dmat[row][keep]))
+                        o_all = np.concatenate((best_o[qi], oids[keep]))
+                        top = np.lexsort((o_all, d_all))[:k]
+                        best_d[qi], best_o[qi] = d_all[top], o_all[top]
+                        if len(top) >= k:
+                            kth[qi] = best_d[qi][-1]
+                    continue
+                for qi in alive:
+                    dists = metric.distance_batch(points64, qs[qi])
+                    if len(best_d[qi]) >= k:
+                        # Candidates beyond the kth can never enter the top
+                        # k (ties at kth still can, under the (dist, oid)
+                        # order).
+                        keep = dists <= kth[qi]
+                        cand_d, cand_o = dists[keep], oids[keep]
+                    else:
+                        cand_d, cand_o = dists, oids
+                    if not len(cand_d):
+                        continue
+                    d_all = np.concatenate((best_d[qi], cand_d))
+                    o_all = np.concatenate((best_o[qi], cand_o))
                     top = np.lexsort((o_all, d_all))[:k]
                     best_d[qi], best_o[qi] = d_all[top], o_all[top]
                     if len(top) >= k:
                         kth[qi] = best_d[qi][-1]
                 continue
-            for qi in alive:
-                dists = metric.distance_batch(points64, qs[qi])
-                if len(best_d[qi]) >= k:
-                    # Candidates beyond the kth can never enter the top k
-                    # (ties at kth still can, under the (dist, oid) order).
-                    keep = dists <= kth[qi]
-                    cand_d, cand_o = dists[keep], oids[keep]
-                else:
-                    cand_d, cand_o = dists, oids
-                if not len(cand_d):
-                    continue
-                d_all = np.concatenate((best_d[qi], cand_d))
-                o_all = np.concatenate((best_o[qi], cand_o))
-                top = np.lexsort((o_all, d_all))[:k]
-                best_d[qi], best_o[qi] = d_all[top], o_all[top]
-                if len(top) >= k:
-                    kth[qi] = best_d[qi][-1]
-            continue
-        e0, e1 = int(cs[node]), int(cs[node + 1])
-        if e0 == e1:
-            continue
-        edges = np.arange(e0, e1, dtype=np.int64)
-        m = len(alive)
-        pair_e = np.repeat(edges, m)
-        pair_q = np.tile(alive, len(edges))
-        bounds = pred.mindist(pair_e, pair_q, qs).reshape(len(edges), m)
-        order = np.argsort(bounds.min(axis=1), kind="stable")
-        for idx in order[::-1]:
-            stack.append((int(snap.edge_child[edges[idx]]), alive, bounds[idx]))
+            e0, e1 = int(cs[node]), int(cs[node + 1])
+            if e0 == e1:
+                continue
+            edges = np.arange(e0, e1, dtype=np.int64)
+            m = len(alive)
+            pair_e = np.repeat(edges, m)
+            pair_q = np.tile(alive, len(edges))
+            bounds = pred.mindist(pair_e, pair_q, qs).reshape(len(edges), m)
+            order = np.argsort(bounds.min(axis=1), kind="stable")
+            for idx in order[::-1]:
+                stack.append(
+                    (int(snap.edge_child[edges[idx]]), alive, bounds[idx])
+                )
+    except QueryTimeoutError as exc:
+        if on_timeout != "partial":
+            raise
+        err = exc
 
     _charge_visited(index, snap, visited)
     out = [
         [(int(o), float(d)) for o, d in zip(best_o[qi], best_d[qi])]
         for qi in range(n)
     ]
-    return _finish(out, visits, index, start, reads0, return_metrics, label)
+    return _finish(
+        _wrap_partial(out, err, n), visits, index, start, reads0, return_metrics, label
+    )

@@ -51,6 +51,11 @@ class TransientStorageError(StorageError, IOError):
     """A retriable I/O fault; the same operation may succeed if reissued."""
 
 
+# The docs and the resilience layer call these "transient I/O errors";
+# keep that name importable alongside the historical one.
+TransientIOError = TransientStorageError
+
+
 class CrashError(StorageError, RuntimeError):
     """The simulated process crashed; the store accepts no further I/O."""
 

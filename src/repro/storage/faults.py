@@ -26,11 +26,84 @@ once.
 
 from __future__ import annotations
 
+import os
 import random
+import time
+from dataclasses import dataclass
 
 from repro.storage.errors import CrashError, TransientStorageError
 from repro.storage.iostats import AccessKind
 from repro.storage.pagestore import PageStore
+
+
+# ----------------------------------------------------------------------
+# Worker-level chaos (the parallel engine's supervision tests)
+# ----------------------------------------------------------------------
+class SimulatedWorkerDeath(BaseException):
+    """Thread-mode stand-in for a killed worker process.
+
+    A ``BaseException`` so it sails past ordinary ``except Exception``
+    handlers exactly as a real SIGKILL would sail past everything — only
+    the parallel engine's supervisor catches it (and treats it as a dead
+    worker: respawn the view, retry the partition, bounded by the retry
+    budget).
+    """
+
+
+@dataclass
+class WorkerFault:
+    """A failure plan shipped inside one partition's payload.
+
+    ``kind``
+        ``"hang"`` — stall for ``seconds`` before doing any work;
+        ``"die"`` — kill the worker (``os._exit`` in a process,
+        :class:`SimulatedWorkerDeath` in a thread);
+        ``"raise"`` — raise a :class:`TransientStorageError` from inside
+        the partition, modelling an I/O storm that exhausted the
+        node-level retries.
+    ``seconds``
+        Hang duration (``"hang"`` only).
+    ``cooperative``
+        A cooperative hang checks the query deadline while stalling, so
+        the *worker itself* raises ``QueryTimeoutError`` — exercising the
+        in-worker timeout path.  A non-cooperative hang ignores the
+        deadline (a truly wedged worker); only the parent's per-partition
+        wall-clock guard can reclaim it.
+    ``sticky``
+        A sticky fault survives the supervisor's retry (the respawned
+        worker fails again, until the retry budget is spent); a non-sticky
+        fault is stripped from the payload on retry, so the retried
+        partition succeeds and must produce bit-identical results.
+    """
+
+    kind: str
+    seconds: float = 0.05
+    cooperative: bool = True
+    sticky: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("hang", "die", "raise"):
+            raise ValueError('kind must be "hang", "die" or "raise"')
+
+
+def apply_worker_fault(fault: WorkerFault, deadline, in_process: bool) -> None:
+    """Execute a :class:`WorkerFault` at the top of a partition."""
+    if fault.kind == "raise":
+        raise TransientStorageError("injected worker-level I/O storm")
+    if fault.kind == "die":
+        if in_process:
+            os._exit(17)
+        raise SimulatedWorkerDeath("injected worker death")
+    # hang: stall in small slices so a cooperative hang can notice the
+    # deadline mid-stall instead of only after the full sleep.
+    end = time.perf_counter() + fault.seconds
+    while True:
+        if fault.cooperative and deadline is not None:
+            deadline.check()
+        left = end - time.perf_counter()
+        if left <= 0:
+            return
+        time.sleep(min(0.01, left))
 
 
 class FaultInjectingPageStore(PageStore):

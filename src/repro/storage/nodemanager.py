@@ -50,10 +50,17 @@ class NodeManager:
         faulting nodes in from a persistent store.
     stats:
         Shared I/O accountant.  Defaults to the store's.
-    max_retries / retry_backoff:
+    max_retries / retry_backoff / retry_budget:
         Transient store faults (:class:`TransientStorageError`) are retried
         up to ``max_retries`` times with exponential backoff starting at
-        ``retry_backoff`` seconds.  Permanent errors — including
+        ``retry_backoff`` seconds, but never past ``retry_budget`` seconds
+        of total wall clock — exponential backoff with a generous
+        ``max_retries`` must not be able to blow a query timeout.  When an
+        ambient query deadline is active (``repro.resilience``), backoff
+        sleeps are clamped to the deadline's remaining budget and the
+        deadline is checked between attempts, so a timed query surfaces
+        its typed ``QueryTimeoutError`` instead of sleeping through it.
+        Permanent errors — including
         :class:`~repro.storage.errors.PageCorruptionError` and
         :class:`~repro.storage.errors.CrashError` — are never retried and
         surface unchanged.  A failed attempt is never charged to
@@ -69,13 +76,17 @@ class NodeManager:
         max_cached: int | None = None,
         max_retries: int = 4,
         retry_backoff: float = 0.001,
+        retry_budget: float = 1.0,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if retry_budget <= 0:
+            raise ValueError("retry_budget must be > 0")
         self.store = store if store is not None else InMemoryPageStore()
         self.codec = codec
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.retry_budget = retry_budget
         self.retries_performed = 0
         self.stats = stats if stats is not None else self.store.stats
         if max_cached is not None:
@@ -230,6 +241,10 @@ class NodeManager:
         self._with_retry(lambda: self.store.write(page_id, data))
 
     def _with_retry(self, op):
+        from repro.resilience import active_deadline
+
+        deadline = active_deadline()
+        started = time.perf_counter()
         attempt = 0
         while True:
             try:
@@ -237,8 +252,22 @@ class NodeManager:
             except TransientStorageError:
                 if attempt >= self.max_retries:
                     raise
-                if self.retry_backoff > 0:
-                    time.sleep(self.retry_backoff * (2**attempt))
+                if deadline is not None:
+                    # A timed query must surface its typed timeout rather
+                    # than sleep through the budget retrying.
+                    deadline.check()
+                wanted = self.retry_backoff * (2**attempt) if self.retry_backoff > 0 else 0.0
+                if wanted > 0:
+                    # Wall-clock cap: total retry time (spent + next sleep)
+                    # stays within retry_budget and the query deadline.
+                    spent = time.perf_counter() - started
+                    wanted = min(wanted, max(0.0, self.retry_budget - spent))
+                    if deadline is not None:
+                        wanted = deadline.sleep_budget(wanted)
+                    if wanted > 0:
+                        time.sleep(wanted)
+                    elif spent >= self.retry_budget:
+                        raise
                 attempt += 1
                 self.retries_performed += 1
 
